@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-style rows *and* persists them as JSON
+under ``benchmarks/results/`` so EXPERIMENTS.md can be regenerated and
+diffed without re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_results(name: str, rows: Any) -> pathlib.Path:
+    """Persist ``rows`` (list/dict) as benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(rows, indent=2, default=str) + "\n")
+    return path
+
+
+def print_table(title: str, rows: list[dict], columns: list[str]) -> None:
+    """Print rows as a fixed-width table (the paper-figure data)."""
+    print(f"\n=== {title} ===")
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            "  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if isinstance(value, dict):
+        return " ".join(f"{k}:{_fmt(v)}" for k, v in value.items())
+    return str(value)

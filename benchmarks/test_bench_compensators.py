@@ -1,0 +1,37 @@
+"""Ablation — delay-compensation algorithms (§3.3).
+
+The paper motivates *adaptive* compensation by clock skew and AP
+delay. This bench compares the adaptive algorithm against trusting
+absolute timestamps with and without a clock error.
+"""
+
+from repro.experiments.tables import compensator_ablation
+
+from benchmarks.bench_utils import print_table, save_results
+
+COLUMNS = ["variant", "avg_saved_pct", "avg_loss_pct", "missed_schedules"]
+
+
+def test_bench_compensators(benchmark):
+    rows = benchmark.pedantic(
+        compensator_ablation, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    save_results("compensator_ablation", rows)
+    print_table("Delay compensation ablation (§3.3)", rows, COLUMNS)
+
+    by_variant = {r["variant"]: r for r in rows}
+    # A skewed clock with absolute timestamps is a disaster...
+    assert (
+        by_variant["fixed-skewed"]["missed_schedules"]
+        > 10 * max(1, by_variant["adaptive"]["missed_schedules"])
+    )
+    assert (
+        by_variant["fixed-skewed"]["avg_saved_pct"]
+        < by_variant["adaptive"]["avg_saved_pct"]
+    )
+    # ...while the adaptive algorithm needs no clock sync to match the
+    # perfectly-synchronized strawman.
+    assert (
+        by_variant["adaptive"]["avg_saved_pct"]
+        > by_variant["fixed-exact"]["avg_saved_pct"] - 3.0
+    )

@@ -1,0 +1,45 @@
+"""E1 — Figure 4: ten UDP video clients, three burst intervals.
+
+Paper values (500 ms): 56K saves 77 %, 256K 66 %, 512K 53 %; mixed
+patterns average ≈69 %; 100 ms is consistently worse than 500 ms.
+"""
+
+from repro.experiments.figures import figure4
+
+from benchmarks.bench_utils import print_table, save_results
+
+COLUMNS = [
+    "interval", "pattern", "avg_saved_pct", "min_saved_pct",
+    "max_saved_pct", "avg_loss_pct", "downshifts",
+]
+
+
+def test_bench_figure4(benchmark):
+    rows = benchmark.pedantic(figure4, kwargs={"seed": 1}, rounds=1, iterations=1)
+    save_results("figure4", rows)
+    print_table("Figure 4 — UDP video clients", rows, COLUMNS)
+
+    by_cell = {(r["interval"], r["pattern"]): r for r in rows}
+    # Savings fall with fidelity at every interval.
+    for interval in ("100ms", "500ms", "variable"):
+        assert (
+            by_cell[(interval, "56K")]["avg_saved_pct"]
+            > by_cell[(interval, "256K")]["avg_saved_pct"]
+            > by_cell[(interval, "512K")]["avg_saved_pct"]
+        )
+    # 500 ms beats 100 ms (the early-transition penalty, §4.3).
+    for pattern in ("56K", "256K", "512K", "56K_512K", "All"):
+        assert (
+            by_cell[("500ms", pattern)]["avg_saved_pct"]
+            > by_cell[("100ms", pattern)]["avg_saved_pct"]
+        )
+    # Headline magnitudes within a reasonable band of the paper's.
+    assert abs(by_cell[("500ms", "56K")]["avg_saved_pct"] - 77.0) < 10.0
+    assert abs(by_cell[("500ms", "256K")]["avg_saved_pct"] - 66.0) < 10.0
+    assert abs(by_cell[("500ms", "512K")]["avg_saved_pct"] - 53.0) < 10.0
+    # Mixed-fidelity patterns land between the extremes (≈69 % in paper).
+    assert 55.0 < by_cell[("500ms", "56K_512K")]["avg_saved_pct"] < 85.0
+    # Loss is typically below the paper's 2 % bar (allow slack at 100 ms).
+    assert by_cell[("500ms", "56K")]["avg_loss_pct"] < 2.0
+    # Ten 512K streams exceed the medium: adaptation kicks in (§4.3).
+    assert by_cell[("500ms", "512K")]["downshifts"] > 0

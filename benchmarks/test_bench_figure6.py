@@ -1,0 +1,39 @@
+"""E5 — Figure 6: the early-transition-amount sweep.
+
+Paper: sweeping 0/2/4/6/8/10 ms on a 100 ms interval, total wasted
+energy is U-shaped with the minimum at 6 ms — small amounts miss
+schedules (big recovery cost), large amounts idle needlessly. Missed
+packets ranged 0.97 % (10 ms) to 1.83 % (0 ms).
+"""
+
+from repro.experiments.figures import figure6
+
+from benchmarks.bench_utils import print_table, save_results
+
+COLUMNS = [
+    "early_ms", "early_waste_j", "missed_schedule_waste_j", "total_waste_j",
+    "missed_schedules", "missed_pct", "avg_saved_pct",
+]
+
+
+def test_bench_figure6(benchmark):
+    rows = benchmark.pedantic(figure6, kwargs={"seed": 1}, rounds=1, iterations=1)
+    save_results("figure6", rows)
+    print_table("Figure 6 — early transition amount sweep", rows, COLUMNS)
+
+    by_early = {r["early_ms"]: r for r in rows}
+    # Early-wake waste grows with the early amount ...
+    assert by_early[10]["early_waste_j"] > by_early[2]["early_waste_j"]
+    # ... while missed-schedule waste shrinks.
+    assert (
+        by_early[0]["missed_schedule_waste_j"]
+        > by_early[6]["missed_schedule_waste_j"]
+    )
+    assert (
+        by_early[0]["missed_schedules"] >= by_early[6]["missed_schedules"]
+    )
+    # The paper's chosen operating point (6 ms) beats both extremes.
+    assert by_early[6]["total_waste_j"] < by_early[0]["total_waste_j"]
+    assert by_early[6]["total_waste_j"] <= by_early[10]["total_waste_j"] * 1.2
+    # Loss falls as the early amount grows (paper: 1.83 % -> 0.97 %).
+    assert by_early[0]["missed_pct"] >= by_early[10]["missed_pct"]

@@ -1,0 +1,38 @@
+"""E8 — Figure 7: static schedule with fixed TCP/UDP slots at 500 ms.
+
+Paper: with fixed-size slots, the TCP slot size is a lose-lose knob —
+small slots starve TCP (end-to-end latency blows up toward seconds),
+large slots waste energy on every TCP client (awake for the whole
+slot). Video energy grows with fidelity in every configuration.
+"""
+
+from repro.experiments.figures import figure7
+
+from benchmarks.bench_utils import print_table, save_results
+
+COLUMNS = [
+    "tcp_weight_pct", "video_energy_used_pct", "tcp_energy_used_pct",
+    "tcp_latency_ms", "tcp_objects",
+]
+
+
+def test_bench_figure7(benchmark):
+    rows = benchmark.pedantic(figure7, kwargs={"seed": 1}, rounds=1, iterations=1)
+    save_results("figure7", rows)
+    print_table("Figure 7 — static TCP/UDP slot split", rows, COLUMNS)
+
+    by_weight = {r["tcp_weight_pct"]: r for r in rows}
+    # Bigger TCP slot -> more TCP energy used (paper right panel bars).
+    assert (
+        by_weight[10]["tcp_energy_used_pct"]
+        < by_weight[33]["tcp_energy_used_pct"]
+        < by_weight[56]["tcp_energy_used_pct"]
+    )
+    # Smaller TCP slot -> (much) higher TCP latency (paper right panel
+    # dots; seconds at the smallest slot).
+    assert by_weight[10]["tcp_latency_ms"] > by_weight[33]["tcp_latency_ms"]
+    assert by_weight[10]["tcp_latency_ms"] > 700.0
+    # Video energy grows with fidelity (paper left panel).
+    for row in rows:
+        used = row["video_energy_used_pct"]
+        assert used[56] < used[512]

@@ -1,0 +1,25 @@
+"""E10 — §3.2.2: proxy memory requirements.
+
+Paper: "even if one second of data (to all clients) had to be
+buffered, 512KB would be sufficient" at ~4 Mb/s effective bandwidth.
+"""
+
+from repro.experiments.tables import memory_footprint
+
+from benchmarks.bench_utils import print_table, save_results
+
+
+def test_bench_memory_footprint(benchmark):
+    row = benchmark.pedantic(
+        memory_footprint, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    save_results("memory_footprint", row)
+    print_table(
+        "Proxy buffer high-water mark (§3.2.2)", [row],
+        ["peak_buffer_bytes", "claimed_bound_bytes", "within_claim"],
+    )
+    assert row["peak_buffer_bytes"] > 0
+    # The paper's envelope: about one second of full-bandwidth data.
+    # Our web workload can queue somewhat more across bursts; assert
+    # the same order of magnitude.
+    assert row["peak_buffer_bytes"] <= 2 * row["claimed_bound_bytes"]

@@ -1,0 +1,45 @@
+"""E4 — §4.3: comparison to the theoretical optimum.
+
+Paper: optimal 90/83/77 % vs measured 77/66/53 % for 56K/256K/512K —
+i.e. measured savings sit 10-24 points under the optimum, and both
+decrease with fidelity.
+"""
+
+from repro.experiments.tables import optimal_comparison
+
+from benchmarks.bench_utils import print_table, save_results
+
+COLUMNS = [
+    "stream", "optimal_pct", "measured_pct", "gap_pct",
+    "paper_optimal_pct", "paper_measured_pct",
+]
+
+
+def test_bench_optimal(benchmark):
+    rows = benchmark.pedantic(
+        optimal_comparison, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    save_results("optimal_comparison", rows)
+    print_table("Optimal vs measured (§4.3)", rows, COLUMNS)
+
+    by_stream = {r["stream"]: r for r in rows}
+    # Optimal dominates measured everywhere.
+    for row in rows:
+        assert row["optimal_pct"] > row["measured_pct"]
+        # "energy savings within 10-15% of optimal are common" — allow
+        # the gap to be anywhere from a little to ~25 points.
+        assert 0.0 < row["gap_pct"] < 30.0
+    # Both columns fall with fidelity.
+    assert (
+        by_stream["56K"]["optimal_pct"]
+        > by_stream["256K"]["optimal_pct"]
+        > by_stream["512K"]["optimal_pct"]
+    )
+    assert (
+        by_stream["56K"]["measured_pct"]
+        > by_stream["256K"]["measured_pct"]
+        > by_stream["512K"]["measured_pct"]
+    )
+    # Optimal magnitudes near the paper's formula outputs.
+    assert abs(by_stream["56K"]["optimal_pct"] - 90.0) < 8.0
+    assert abs(by_stream["512K"]["optimal_pct"] - 77.0) < 8.0

@@ -1,0 +1,37 @@
+"""E12 (extension) — 802.11b PSM versus the scheduling proxy.
+
+The paper's §2 dismisses 802.11b power-save mode as "not a good match"
+for streaming. This bench quantifies the comparison on the same
+stream: PSM saves comparable energy but races its beacon-buffer
+machinery against the stream and drops packets; the proxy's explicit
+schedule delivers everything.
+"""
+
+from repro.experiments.baselines import psm_comparison
+
+from benchmarks.bench_utils import print_table, save_results
+
+COLUMNS = [
+    "policy", "energy_saved_pct", "mean_latency_ms", "p95_latency_ms",
+    "packets_delivered", "packets_missed",
+]
+
+
+def test_bench_psm_baseline(benchmark):
+    rows = benchmark.pedantic(
+        psm_comparison, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    save_results("psm_baseline", rows)
+    print_table("802.11b PSM vs scheduling proxy", rows, COLUMNS)
+
+    by_policy = {r["policy"]: r for r in rows}
+    assert by_policy["naive"]["energy_saved_pct"] < 5.0
+    # Both power policies save a lot of energy...
+    assert by_policy["psm"]["energy_saved_pct"] > 50.0
+    assert by_policy["proxy"]["energy_saved_pct"] > 50.0
+    # ...but PSM loses packets on this stream; the proxy does not.
+    assert by_policy["proxy"]["packets_missed"] == 0
+    assert by_policy["psm"]["packets_missed"] > by_policy["proxy"]["packets_missed"]
+    # Both add buffering latency versus naive.
+    assert by_policy["naive"]["mean_latency_ms"] < 10.0
+    assert by_policy["psm"]["mean_latency_ms"] > 20.0

@@ -1,0 +1,32 @@
+"""E11 — §5 future work: schedule reuse.
+
+When consecutive schedules are identical the proxy flags
+``repeats_next`` and skips the next broadcast; clients then skip one
+schedule wake-up per reused interval.
+"""
+
+from repro.experiments.tables import schedule_reuse
+
+from benchmarks.bench_utils import print_table, save_results
+
+COLUMNS = [
+    "reuse_enabled", "avg_saved_pct", "schedules_sent",
+    "schedules_reused", "avg_loss_pct",
+]
+
+
+def test_bench_schedule_reuse(benchmark):
+    rows = benchmark.pedantic(
+        schedule_reuse, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    save_results("schedule_reuse", rows)
+    print_table("Schedule reuse (§5 future work)", rows, COLUMNS)
+
+    off = next(r for r in rows if not r["reuse_enabled"])
+    on = next(r for r in rows if r["reuse_enabled"])
+    assert on["schedules_reused"] > 0
+    assert on["schedules_sent"] < off["schedules_sent"]
+    # Reuse must not hurt energy (it should help a little).
+    assert on["avg_saved_pct"] >= off["avg_saved_pct"] - 0.5
+    # ...and must not cost packets.
+    assert on["avg_loss_pct"] < 3.0

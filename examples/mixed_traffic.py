@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Mixed video + web clients sharing one cell (Figure 5).
+
+Seven clients stream video while three browse the web through the same
+proxy. Shows per-kind savings, the web clients' page/object statistics
+and the end-to-end latency cost of burst-scheduling TCP.
+
+Run:  python examples/mixed_traffic.py  [--quick]
+"""
+
+import sys
+
+from repro.experiments.runner import mixed, run_experiment
+
+
+def main(quick: bool = False) -> None:
+    duration = 30.0 if quick else 119.0
+    video = [56, 56, 128] if quick else [56, 56, 128, 128, 256, 256, 512]
+    n_web = 1 if quick else 3
+    result = run_experiment(
+        mixed(video, n_web=n_web, burst_interval_s=0.5,
+              duration_s=duration, seed=2)
+    )
+
+    print("kind    client      saved    loss   detail")
+    for report in result.clients:
+        if report.kind == "video":
+            detail = f"{report.extra['app_bytes']/1024:.0f} KiB streamed"
+            if report.extra.get("downshifts"):
+                detail += f", {report.extra['downshifts']} downshifts"
+        else:
+            detail = (
+                f"{report.extra['pages_loaded']} pages, "
+                f"{report.extra['objects_loaded']} objects, "
+                f"object latency "
+                f"{report.extra['mean_object_latency_s']*1000:.0f} ms"
+            )
+        print(
+            f"{report.kind:<7} {report.name:<10}"
+            f" {report.energy_saved_pct:6.1f}%"
+            f"  {report.loss_pct:5.2f}%  {detail}"
+        )
+    print(
+        f"\nUDP avg {result.video_summary.avg_saved_pct:.1f}% | "
+        f"TCP avg {result.tcp_summary.avg_saved_pct:.1f}% "
+        f"(paper: 50-90% across these configurations)"
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

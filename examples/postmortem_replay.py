@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The paper's postmortem workflow: capture once, analyze many policies.
+
+Runs one live experiment, saves the monitoring station's capture to a
+file (the tcpdump analog), then replays the capture offline against a
+sweep of early-transition amounts and two compensation algorithms —
+without re-running the network simulation. This is how the paper's
+§4.1 simulator produced Figure 6.
+
+Run:  python examples/postmortem_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.bandwidth_model import calibrate
+from repro.core.client import PowerAwareClient
+from repro.core.delay_comp import AdaptiveCompensator, FixedClockCompensator
+from repro.core.scheduler import DynamicScheduler
+from repro.energy.replay import replay_policy
+from repro.experiments.scenarios import (
+    ScenarioConfig,
+    VIDEO_SERVER_IP,
+    build_scenario,
+    client_ip,
+)
+from repro.net.addr import Endpoint
+from repro.net.capture_io import load_capture, save_capture
+from repro.wnic.power import WAVELAN_2_4GHZ
+from repro.workloads.video import (
+    VIDEO_PORT,
+    VideoClientApp,
+    VideoServerApp,
+    VideoStreamConfig,
+)
+
+
+def run_live_capture(path: Path) -> float:
+    """One 30 s live run with four 56 kbps clients; saves the capture."""
+    scenario = build_scenario(ScenarioConfig(n_clients=4, seed=17))
+    scheduler = DynamicScheduler(
+        scenario.proxy, calibrate(scenario.medium), interval_s=0.1
+    )
+    scenario.proxy.attach_scheduler(scheduler)
+    scenario.proxy.start()
+    for index, handle in enumerate(scenario.clients):
+        handle.daemon = PowerAwareClient(handle.node, handle.wnic)
+        server_app = VideoServerApp(
+            scenario.video_server,
+            Endpoint(handle.node.ip, VIDEO_PORT),
+            VideoStreamConfig(nominal_kbps=56, duration_s=30.0),
+            rng=scenario.streams.get(f"video:{index}"),
+            stream_id=index,
+            start_at=0.5 + index,
+        )
+        VideoClientApp(
+            handle.node,
+            Endpoint(VIDEO_SERVER_IP, VIDEO_PORT),
+            feedback_endpoint=server_app.feedback_endpoint,
+            report_offset_s=0.05 + 0.293 * index,
+        )
+    scenario.sim.run(until=32.0)
+    save_capture(scenario.monitor.frames, path)
+    print(
+        f"captured {len(scenario.monitor.frames)} frames "
+        f"({scenario.monitor.bytes_captured()/1024:.0f} KiB on air) -> {path}"
+    )
+    return scenario.sim.now
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.jsonl"
+        horizon = run_live_capture(path)
+        frames = load_capture(path)
+
+        print("\nearly(ms)  algorithm        saved   missed-scheds  frames-missed")
+        for early_ms in (0, 2, 6, 10):
+            result = replay_policy(
+                frames, client_ip(0),
+                AdaptiveCompensator(early_s=early_ms / 1000.0),
+                WAVELAN_2_4GHZ, duration_s=horizon,
+            )
+            print(
+                f"{early_ms:>8}   adaptive        "
+                f"{result.report.energy_saved_pct:5.1f}%"
+                f"  {result.missed_schedules:>12}"
+                f"  {result.frames_missed:>12}"
+            )
+        # And one alternative algorithm on the very same capture:
+        result = replay_policy(
+            frames, client_ip(0),
+            FixedClockCompensator(early_s=0.006, clock_offset_estimate_s=0.02),
+            WAVELAN_2_4GHZ, duration_s=horizon,
+        )
+        print(
+            f"{6:>8}   fixed(+20ms err)"
+            f" {result.report.energy_saved_pct:5.1f}%"
+            f"  {result.missed_schedules:>12}"
+            f"  {result.frames_missed:>12}"
+        )
+
+
+if __name__ == "__main__":
+    main()

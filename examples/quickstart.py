@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: ten clients stream 56 kbps video through the proxy.
+
+Reproduces the headline result of the paper in one call: clients
+receiving low-bandwidth streams through the power-aware scheduling
+proxy save well over 75 % of their WNIC energy versus a naive,
+always-on client.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.runner import run_experiment, video_only
+
+
+def main() -> None:
+    config = video_only(
+        bitrates_kbps=[56] * 10,  # ten clients, identical streams
+        burst_interval_s=0.5,  # the paper's best fixed interval
+        duration_s=119.0,  # the trailer's length (1:59)
+        seed=1,
+    )
+    result = run_experiment(config)
+
+    print("client      saved   vs-optimal   loss   missed-scheds")
+    for report in result.clients:
+        print(
+            f"{report.name:<10} {report.energy_saved_pct:6.1f}%"
+            f"   {report.optimal_saved_pct:6.1f}%"
+            f"  {report.loss_pct:5.2f}%"
+            f"   {report.missed_schedules}"
+        )
+    summary = result.summary
+    print(
+        f"\naverage saved {summary.avg_saved_pct:.1f}% "
+        f"(min {summary.min_saved_pct:.1f}, max {summary.max_saved_pct:.1f}); "
+        f"paper reports 77% for this configuration"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Video streaming across fidelities and burst intervals (Figure 4).
+
+Sweeps the paper's stream fidelities at two fixed burst intervals and
+the variable policy, showing how savings fall with bandwidth and how
+interval choice trades wake-up overhead against buffering delay. Also
+demonstrates the RealServer-style adaptation: ten 512 kbps streams
+exceed the cell's effective bandwidth, and the server downshifts.
+
+Run:  python examples/video_streaming.py  [--quick]
+"""
+
+import sys
+
+from repro.experiments.runner import run_experiment, video_only
+
+
+def main(quick: bool = False) -> None:
+    duration = 30.0 if quick else 119.0
+    n = 4 if quick else 10
+    print(f"{n} video clients, {duration:.0f}s trace\n")
+    print("interval   stream   avg-saved  min    max    loss   downshifts")
+    for label, interval in (("100ms", 0.1), ("500ms", 0.5), ("variable", None)):
+        for rate in (56, 256, 512):
+            result = run_experiment(
+                video_only(
+                    [rate] * n, burst_interval_s=interval,
+                    duration_s=duration, seed=1,
+                )
+            )
+            summary = result.video_summary
+            print(
+                f"{label:<9} {rate:>4}K   {summary.avg_saved_pct:6.1f}%"
+                f"  {summary.min_saved_pct:5.1f}  {summary.max_saved_pct:5.1f}"
+                f"  {summary.avg_loss_pct:5.2f}%"
+                f"  {result.downshifts}"
+            )
+    print(
+        "\npaper (500ms): 56K=77%, 256K=66%, 512K=53%; "
+        "100ms is worse everywhere; 512K x10 saturates and adapts"
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

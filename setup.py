@@ -1,0 +1,9 @@
+"""Thin setup.py shim: metadata lives in pyproject.toml.
+
+Kept so that legacy editable installs (``pip install -e .`` on
+environments without the ``wheel`` package) keep working offline.
+"""
+
+from setuptools import setup
+
+setup()

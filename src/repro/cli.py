@@ -1,0 +1,296 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run --clients video:56,video:56,web --interval 500ms
+    python -m repro figure 4 --quick
+    python -m repro table optimal
+    python -m repro demo
+
+Every command accepts ``--json`` to emit machine-readable rows instead
+of the formatted table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if isinstance(value, dict):
+        return " ".join(f"{k}:{_fmt(v)}" for k, v in value.items())
+    return str(value)
+
+
+def print_rows(rows: list[dict], as_json: bool) -> None:
+    """Print result rows as a table or JSON."""
+    if as_json:
+        json.dump(rows, sys.stdout, indent=2, default=str)
+        print()
+        return
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(col), *(len(_fmt(r.get(col))) for r in rows))
+        for col in columns
+    }
+    print("  ".join(col.ljust(widths[col]) for col in columns))
+    for row in rows:
+        print("  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns))
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing helpers
+# ---------------------------------------------------------------------------
+
+
+def parse_interval(text: str):
+    """'100ms' / '0.5' / '500ms' / 'variable' -> seconds or None."""
+    text = text.strip().lower()
+    if text in ("variable", "var", "auto"):
+        return None
+    if text.endswith("ms"):
+        return float(text[:-2]) / 1000.0
+    if text.endswith("s"):
+        return float(text[:-1])
+    return float(text)
+
+
+def parse_clients(text: str):
+    """'video:56,video:512,web,ftp:2097152' -> list of ClientSpec."""
+    from repro.experiments.runner import ClientSpec
+
+    specs = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        kind, _, arg = chunk.partition(":")
+        if kind == "video":
+            specs.append(ClientSpec("video", video_kbps=int(arg or 56)))
+        elif kind == "web":
+            specs.append(ClientSpec("web", web_pages=int(arg or 40)))
+        elif kind == "ftp":
+            specs.append(ClientSpec("ftp", ftp_bytes=int(arg or 2 * 1024**2)))
+        else:
+            raise ConfigurationError(f"unknown client spec: {chunk!r}")
+    if not specs:
+        raise ConfigurationError("no clients given")
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        clients=parse_clients(args.clients),
+        burst_interval_s=parse_interval(args.interval),
+        scheduler=args.scheduler,
+        static_tcp_weight=args.tcp_weight,
+        duration_s=args.duration,
+        seed=args.seed,
+        early_s=args.early_ms / 1000.0,
+        reuse_schedules=args.reuse,
+    )
+    result = run_experiment(config)
+    rows = [
+        {
+            "client": report.name,
+            "kind": report.kind,
+            "saved_pct": report.energy_saved_pct,
+            "optimal_pct": report.optimal_saved_pct,
+            "loss_pct": report.loss_pct,
+            "energy_j": report.energy_j,
+            "missed_schedules": report.missed_schedules,
+        }
+        for report in result.reports
+    ]
+    print_rows(rows, args.json)
+    if not args.json:
+        summary = result.summary
+        print(
+            f"\navg saved {summary.avg_saved_pct:.1f}% "
+            f"[{summary.min_saved_pct:.1f}, {summary.max_saved_pct:.1f}]  "
+            f"loss {summary.avg_loss_pct:.2f}%  "
+            f"peak proxy buffer {result.peak_proxy_buffer_bytes/1024:.0f} KiB"
+        )
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import figures
+
+    driver: Callable = {
+        "4": figures.figure4,
+        "5": figures.figure5,
+        "6": figures.figure6,
+        "7": figures.figure7,
+    }[args.number]
+    rows = driver(seed=args.seed, quick=args.quick)
+    print_rows(rows, args.json)
+    return 0
+
+
+TABLE_DRIVERS = {
+    "tcp-only": "tcp_only",
+    "optimal": "optimal_comparison",
+    "static-dynamic": "static_vs_dynamic",
+    "drops-netfilter": "drop_effect_netfilter",
+    "drops-dummynet": "drop_effect_dummynet",
+    "memory": "memory_footprint",
+    "reuse": "schedule_reuse",
+    "ablation": "split_connection_ablation",
+    "psm": "psm_comparison",
+}
+
+
+def cmd_table(args) -> int:
+    from repro.experiments import baselines, tables
+
+    name = TABLE_DRIVERS[args.name]
+    module = baselines if args.name == "psm" else tables
+    driver = getattr(module, name)
+    kwargs = {"seed": args.seed}
+    if args.name != "drops-dummynet":
+        kwargs["quick"] = args.quick
+    rows = driver(**kwargs)
+    if isinstance(rows, dict):
+        rows = [rows]
+    print_rows(rows, args.json)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report_gen import write_report
+
+    path = write_report(results_dir=args.results, output=args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    import asyncio
+
+    from repro.runtime.demo import run_demo
+
+    results = asyncio.run(
+        run_demo(
+            n_clients=args.clients,
+            file_size=args.bytes,
+            burst_interval_s=parse_interval(args.interval),
+        )
+    )
+    rows = [
+        {
+            "client": r.client_id,
+            "bytes": r.bytes_received,
+            "schedules": r.schedules_heard,
+            "marks": r.marks_heard,
+            "awake_pct": r.awake_fraction * 100.0,
+            "est_saved_pct": r.estimated_savings_pct,
+        }
+        for r in results
+    ]
+    print_rows(rows, args.json)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Dynamic, Power-Aware Scheduling for Mobile "
+            "Clients Using a Transparent Proxy' (ICPP 2004)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument(
+        "--clients", default="video:56," * 9 + "video:56",
+        help="comma list: video:<kbps> | web[:pages] | ftp[:bytes]",
+    )
+    run.add_argument("--interval", default="500ms",
+                     help="burst interval (e.g. 100ms, 0.5, variable)")
+    run.add_argument("--scheduler", choices=("dynamic", "static"),
+                     default="dynamic")
+    run.add_argument("--tcp-weight", type=float, default=0.0,
+                     help="static TCP slot fraction (Figure 7)")
+    run.add_argument("--duration", type=float, default=119.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--early-ms", type=float, default=6.0)
+    run.add_argument("--reuse", action="store_true",
+                     help="enable §5 schedule reuse")
+    run.add_argument("--json", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=("4", "5", "6", "7"))
+    figure.add_argument("--quick", action="store_true")
+    figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("--json", action="store_true")
+    figure.set_defaults(func=cmd_figure)
+
+    table = sub.add_parser("table", help="regenerate a paper table/ablation")
+    table.add_argument("name", choices=sorted(TABLE_DRIVERS))
+    table.add_argument("--quick", action="store_true")
+    table.add_argument("--seed", type=int, default=1)
+    table.add_argument("--json", action="store_true")
+    table.set_defaults(func=cmd_table)
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from benchmarks/results"
+    )
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.set_defaults(func=cmd_report)
+
+    demo = sub.add_parser("demo", help="live asyncio proxy demo")
+    demo.add_argument("--clients", type=int, default=2)
+    demo.add_argument("--bytes", type=int, default=300_000)
+    demo.add_argument("--interval", default="100ms")
+    demo.add_argument("--json", action="store_true")
+    demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+        return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

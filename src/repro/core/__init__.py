@@ -1,0 +1,51 @@
+"""The paper's contribution: a transparent, power-aware scheduling proxy.
+
+Components map one-to-one onto the paper's §3:
+
+* :mod:`~repro.core.schedule` — schedule messages, burst slots,
+  scheduler rendezvous points (SRPs);
+* :mod:`~repro.core.bandwidth_model` — the linear send-cost model built
+  from microbenchmarks (§3.2.2 "Bandwidth Constraints");
+* :mod:`~repro.core.queues` — per-client packet queues;
+* :mod:`~repro.core.scheduler` — the dynamic scheduling policy with
+  fixed (100/500 ms) and variable burst intervals;
+* :mod:`~repro.core.static_schedule` — the static TDMA comparison
+  policy (§4.3, Figure 7);
+* :mod:`~repro.core.burster` — burst transmission with the
+  last-packet TOS marking protocol (§3.2.2 "Packet Marking");
+* :mod:`~repro.core.proxy` — the transparent proxy itself: packet
+  interception, split TCP connections, address spoofing (Figure 3);
+* :mod:`~repro.core.client` — the client daemon that transitions the
+  WNIC around rendezvous points;
+* :mod:`~repro.core.delay_comp` — delay-compensation algorithms
+  (§3.3).
+"""
+
+from repro.core.bandwidth_model import LinearCostModel
+from repro.core.client import PowerAwareClient
+from repro.core.delay_comp import (
+    AdaptiveCompensator,
+    FixedClockCompensator,
+    OracleCompensator,
+)
+from repro.core.proxy import TransparentProxy
+from repro.core.queues import ClientQueue, QueueEntry
+from repro.core.schedule import SCHEDULE_PORT, BurstSlot, Schedule
+from repro.core.scheduler import DynamicScheduler
+from repro.core.static_schedule import StaticScheduler
+
+__all__ = [
+    "AdaptiveCompensator",
+    "BurstSlot",
+    "ClientQueue",
+    "DynamicScheduler",
+    "FixedClockCompensator",
+    "LinearCostModel",
+    "OracleCompensator",
+    "PowerAwareClient",
+    "QueueEntry",
+    "SCHEDULE_PORT",
+    "Schedule",
+    "StaticScheduler",
+    "TransparentProxy",
+]

@@ -1,0 +1,300 @@
+"""The dynamic scheduling policy (paper §3.2.1).
+
+At every SRP the proxy snapshots all client queues, builds a schedule
+(variable-sized or fixed-sized), broadcasts it, and bursts each client
+in turn at its rendezvous point:
+
+* **fixed interval** (100 ms / 500 ms in the paper): each client gets a
+  share of the interval *proportional to its queue depth*; data that
+  does not fit waits for the next interval;
+* **variable interval**: the schedule is sized so every client can
+  drain its queue, clamped to [min_interval, max_interval]; when the
+  maximum clamps it, allotments degrade to proportional shares.
+
+The schedule-reuse extension (paper §5 future work) can be enabled with
+``reuse_schedules=True``: when two consecutive schedules would have the
+same relative layout, the proxy broadcasts the first with
+``repeats_next=True``, skips the next broadcast entirely, and replays
+the same layout — saving every client one schedule wake-up.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.bandwidth_model import LinearCostModel
+from repro.core.schedule import BurstSlot, Schedule
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.proxy import TransparentProxy
+
+#: Gap between consecutive burst slots.
+DEFAULT_SLOT_GAP_S = 0.0005
+#: Time reserved between the schedule broadcast and the first slot.
+DEFAULT_SCHEDULE_GUARD_S = 0.0015
+
+
+class DynamicScheduler:
+    """Builds and executes per-interval schedules on the proxy."""
+
+    def __init__(
+        self,
+        proxy: "TransparentProxy",
+        cost_model: LinearCostModel,
+        interval_s: Optional[float] = None,
+        min_interval_s: float = 0.1,
+        max_interval_s: float = 0.5,
+        slot_gap_s: float = DEFAULT_SLOT_GAP_S,
+        schedule_guard_s: float = DEFAULT_SCHEDULE_GUARD_S,
+        reuse_schedules: bool = False,
+    ) -> None:
+        """Args:
+        proxy: owning proxy (supplies queues, burster and the socket).
+        cost_model: calibrated linear send-cost model.
+        interval_s: fixed burst interval; None selects the variable
+            policy bounded by ``min_interval_s``/``max_interval_s``.
+        reuse_schedules: enable the §5 schedule-reuse extension.
+        """
+        if interval_s is not None and interval_s <= 0:
+            raise SchedulingError(f"interval must be positive: {interval_s!r}")
+        if min_interval_s <= 0 or max_interval_s < min_interval_s:
+            raise SchedulingError(
+                f"bad interval bounds: [{min_interval_s}, {max_interval_s}]"
+            )
+        self.proxy = proxy
+        self.cost_model = cost_model
+        self.interval_s = interval_s
+        self.min_interval_s = min_interval_s
+        self.max_interval_s = max_interval_s
+        self.slot_gap_s = slot_gap_s
+        self.schedule_guard_s = schedule_guard_s
+        self.reuse_schedules = reuse_schedules
+        self.schedules_sent = 0
+        self.schedules_reused = 0
+        self.seq = 0
+        self._last_layout: Optional[tuple] = None
+
+    @property
+    def is_variable(self) -> bool:
+        """True when running the variable-interval policy."""
+        return self.interval_s is None
+
+    # -- schedule construction ------------------------------------------------
+
+    def client_burst_cost(self, udp_bytes: int, tcp_bytes: int) -> float:
+        """Channel time of one client's burst, ACK echoes included.
+
+        TCP data on the half-duplex cell is answered by uplink ACKs —
+        with delayed ACKs, about one per two segments — which occupy
+        the same medium the next slot needs. The paper's microbenchmark
+        calibration measured real transfers and thus absorbed this; we
+        account for it explicitly.
+        """
+        cost = self.cost_model.burst_cost(udp_bytes)
+        if tcp_bytes > 0:
+            from repro.net.packet import MSS
+
+            cost += self.cost_model.burst_cost(tcp_bytes)
+            segments = -(-tcp_bytes // MSS)
+            acks = -(-segments // 2)  # delayed ACKs: one per two segments
+            cost += acks * self.cost_model.packet_cost(0)
+        return cost
+
+    def build_schedule(self, srp: float) -> Schedule:
+        """Snapshot the queues and construct the schedule for one interval."""
+        pending = [
+            (ip, *self.proxy.scheduling_backlog_by_kind(ip))
+            for ip, _queue in self.proxy.iter_queues()
+            if self.proxy.scheduling_backlog(ip) > 0
+        ]
+        # Rotate the burst order every interval so no client always goes
+        # first (the paper's example schedules reorder clients freely).
+        # Schedule reuse needs a *stable* order, so reuse disables it.
+        if pending and not self.reuse_schedules:
+            rotation = self.seq % len(pending)
+            pending = pending[rotation:] + pending[:rotation]
+
+        schedule_cost = self.cost_model.packet_cost(
+            24 + 16 * len(pending)  # schedule message payload
+        )
+        lead = schedule_cost + self.schedule_guard_s
+        if self.is_variable:
+            slots, interval = self._variable_layout(srp, lead, pending)
+        else:
+            slots, interval = self._fixed_layout(srp, lead, pending)
+        return Schedule(
+            seq=self.seq,
+            srp=srp,
+            next_srp=srp + interval,
+            slots=tuple(slots),
+        )
+
+    def _variable_layout(self, srp, lead, pending):
+        durations = {
+            ip: self.client_burst_cost(udp_b, tcp_b)
+            for ip, udp_b, tcp_b in pending
+        }
+        total = (
+            lead
+            + sum(durations.values())
+            + self.slot_gap_s * len(pending)
+        )
+        # Overrun slack: if the bursts run past the advertised next SRP,
+        # the late schedule broadcast defeats every client's arrival
+        # anchor. Mirrors the fixed layout's 0.9 window factor.
+        total *= 1.1
+        interval = min(self.max_interval_s, max(self.min_interval_s, total))
+        if total > interval:
+            # Clamped at the maximum: degrade to proportional shares.
+            return self._fixed_layout(srp, lead, pending, interval=interval)
+        slots = []
+        cursor = srp + lead
+        for ip, udp_b, tcp_b in pending:
+            slots.append(
+                BurstSlot(
+                    client_ip=ip,
+                    rendezvous=cursor,
+                    duration=durations[ip],
+                    bytes_allotted=udp_b + tcp_b,
+                )
+            )
+            cursor += durations[ip] + self.slot_gap_s
+        return slots, interval
+
+    def _fixed_layout(self, srp, lead, pending, interval=None):
+        interval = interval if interval is not None else self.interval_s
+        window = interval - lead - self.slot_gap_s * max(1, len(pending))
+        # Safety factor: random backoff and AP forwarding make real
+        # airtime exceed the estimate now and then; a slot that spills
+        # past the SRP delays every later client's marked packet
+        # (§3.2.2's "subsequent clients will not receive their data as
+        # scheduled").
+        window *= 0.9
+        if window <= 0:
+            raise SchedulingError(
+                f"interval {interval}s cannot fit the schedule overhead"
+            )
+        costs = {
+            ip: self.client_burst_cost(udp_b, tcp_b)
+            for ip, udp_b, tcp_b in pending
+        }
+        total_cost = sum(costs.values())
+        slots = []
+        cursor = srp + lead
+        for ip, udp_b, tcp_b in pending:
+            nbytes = udp_b + tcp_b
+            full_cost = costs[ip]
+            share = window * full_cost / total_cost
+            if full_cost <= share:
+                allotted, duration = nbytes, full_cost
+            else:
+                # Scale the allotment down to what fits the share,
+                # keeping this client's udp/tcp cost ratio.
+                inflation = full_cost / max(
+                    self.cost_model.burst_cost(nbytes), 1e-12
+                )
+                allotted = min(
+                    nbytes, self.cost_model.bytes_for(share / inflation)
+                )
+                duration = full_cost * (allotted / nbytes) if nbytes else 0.0
+            slots.append(
+                BurstSlot(
+                    client_ip=ip,
+                    rendezvous=cursor,
+                    duration=duration,
+                    bytes_allotted=allotted,
+                )
+            )
+            cursor += duration + self.slot_gap_s
+        return slots, interval
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self):
+        """The proxy-side scheduling process (a simulation generator)."""
+        sim = self.proxy.sim
+        while True:
+            srp = sim.now
+            schedule = self.build_schedule(srp)
+            repeat = False
+            if self.reuse_schedules and not self.is_variable:
+                layout = self._relative_layout(schedule)
+                if layout == self._last_layout and schedule.slots:
+                    schedule = Schedule(
+                        seq=schedule.seq,
+                        srp=schedule.srp,
+                        next_srp=schedule.next_srp,
+                        slots=schedule.slots,
+                        repeats_next=True,
+                    )
+                    repeat = True
+                self._last_layout = layout
+            self.proxy.broadcast_schedule(schedule)
+            self.schedules_sent += 1
+            self.seq += 1
+            yield from self._execute_interval(schedule)
+            if repeat:
+                # Replay the same relative layout without a broadcast.
+                self.schedules_reused += 1
+                self.seq += 1
+                shifted = self._shift_schedule(schedule, schedule.interval)
+                self._last_layout = None  # force a fresh broadcast next
+                yield from self._execute_interval(shifted)
+
+    def _execute_interval(self, schedule: Schedule):
+        sim = self.proxy.sim
+        for slot in schedule.slots:
+            if slot.rendezvous > sim.now:
+                yield sim.timeout(slot.rendezvous - sim.now)
+            queue = self.proxy.queue_for(slot.client_ip)
+            # Only kick when recovery is truly stuck: no progress for
+            # well over one interval (ordinary ACK clocking pauses for
+            # one interval between bursts by design).
+            self.proxy.kick_stalled(
+                slot.client_ip, stall_threshold_s=1.5 * schedule.interval
+            )
+            self.proxy.burster.burst(queue, slot)
+            self.proxy.finish_drained_splits(slot.client_ip)
+        if schedule.next_srp > sim.now:
+            yield sim.timeout(schedule.next_srp - sim.now)
+
+    @staticmethod
+    def _relative_layout(schedule: Schedule) -> tuple:
+        """Layout signature used to detect repeatable schedules.
+
+        Clients only need the *offsets* to be stable, so durations and
+        rendezvous points are quantized to 5 ms buckets: ordinary VBR
+        wobble between intervals does not defeat reuse, while a client
+        joining/leaving or a real shift in shares does.
+        """
+        return tuple(
+            (
+                slot.client_ip,
+                round((slot.rendezvous - schedule.srp) / 0.005),
+                round(slot.duration / 0.005),
+            )
+            for slot in schedule.slots
+        )
+
+    def _shift_schedule(self, schedule: Schedule, delta: float) -> Schedule:
+        """The implicit repeated schedule: same offsets one interval
+        later; allotments are re-derived from slot durations so the
+        replay serves whatever is queued *now*."""
+        return Schedule(
+            seq=schedule.seq + 1,
+            srp=schedule.srp + delta,
+            next_srp=schedule.next_srp + delta,
+            slots=tuple(
+                BurstSlot(
+                    client_ip=slot.client_ip,
+                    rendezvous=slot.rendezvous + delta,
+                    duration=slot.duration,
+                    bytes_allotted=max(
+                        slot.bytes_allotted,
+                        self.cost_model.bytes_for(slot.duration),
+                    ),
+                )
+                for slot in schedule.slots
+            ),
+        )

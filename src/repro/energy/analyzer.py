@@ -1,0 +1,155 @@
+"""The postmortem trace simulator (paper §3.1, §4.1).
+
+Reads the monitoring station's capture after a run and produces one
+:class:`~repro.energy.report.ClientReport` per client:
+
+* high-/low-power residency from the client's WNIC transition log,
+* receive/transmit residency from frame airtime overlapped with the
+  awake timeline,
+* packets lost (UDP) / dropped (TCP) from the medium's miss records,
+* energy under a :class:`~repro.wnic.power.PowerModel`, versus the
+  naive always-on client over the identical traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.energy.model import (
+    EnergyBreakdown,
+    integrate_intervals,
+    naive_breakdown,
+)
+from repro.energy.report import ClientReport
+from repro.errors import TraceError
+from repro.net.sniffer import FrameRecord
+from repro.sim.trace import TraceRecorder
+from repro.wnic.power import PowerModel
+from repro.wnic.states import Wnic
+
+
+class EnergyAnalyzer:
+    """Postmortem per-client energy and loss accounting."""
+
+    def __init__(
+        self,
+        frames: Sequence[FrameRecord],
+        power: PowerModel,
+        duration_s: float,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if duration_s <= 0:
+            raise TraceError(f"duration must be positive: {duration_s!r}")
+        self.frames = list(frames)
+        self.power = power
+        self.duration_s = duration_s
+        self.trace = trace
+
+    # -- frame selection ---------------------------------------------------
+
+    def rx_intervals(self, ip: str) -> list[tuple[float, float]]:
+        """Airtime of frames the client's radio would decode (unicast to
+        it plus broadcasts)."""
+        return [
+            (frame.start, frame.end)
+            for frame in self.frames
+            if frame.dst_ip == ip or frame.broadcast
+        ]
+
+    def tx_intervals(self, ip: str) -> list[tuple[float, float]]:
+        """Airtime of frames transmitted by the client."""
+        return [
+            (frame.start, frame.end)
+            for frame in self.frames
+            if frame.src_ip == ip
+        ]
+
+    def data_frames_to(self, ip: str) -> list[FrameRecord]:
+        """Unicast data frames (payload > 0) addressed to ``ip``."""
+        return [
+            frame
+            for frame in self.frames
+            if frame.dst_ip == ip and not frame.broadcast and frame.payload_size > 0
+        ]
+
+    def missed_data_packets(self, ip: str) -> list:
+        """Medium miss records for unicast data addressed to ``ip``."""
+        if self.trace is None:
+            return []
+        return [
+            row
+            for row in self.trace.query("medium.miss")
+            if row.fields["dst"] == ip
+            and not row.fields["broadcast"]
+            and row.fields["payload"] > 0
+        ]
+
+    # -- analysis ----------------------------------------------------------
+
+    def analyze(
+        self,
+        name: str,
+        ip: str,
+        wnic: Wnic,
+        kind: str = "video",
+        optimal_saved_pct: Optional[float] = None,
+        missed_schedules: int = 0,
+        schedules_heard: int = 0,
+        early_wait_s: float = 0.0,
+        miss_recovery_s: float = 0.0,
+        extra: Optional[dict] = None,
+    ) -> ClientReport:
+        """Produce the report for one client.
+
+        ``missed_schedules`` / ``early_wait_s`` / ``miss_recovery_s``
+        come from the client daemon's own counters — the trace cannot
+        distinguish *why* a client was awake, only *that* it was.
+        """
+        awake = wnic.awake_intervals(self.duration_s)
+        rx = self.rx_intervals(ip)
+        tx = self.tx_intervals(ip)
+        breakdown = integrate_intervals(
+            awake=awake,
+            rx_frames=rx,
+            tx_frames=tx,
+            duration_s=self.duration_s,
+            wake_count=wnic.wake_count,
+            power=self.power,
+        )
+        naive = naive_breakdown(
+            rx_frames=rx,
+            tx_frames=tx,
+            duration_s=self.duration_s,
+            power=self.power,
+        )
+        data_frames = self.data_frames_to(ip)
+        missed = self.missed_data_packets(ip)
+        delivered_bytes = sum(f.payload_size for f in data_frames) - sum(
+            row.fields["payload"] for row in missed
+        )
+        return ClientReport(
+            name=name,
+            ip=ip,
+            kind=kind,
+            breakdown=breakdown,
+            naive=naive,
+            bytes_received=max(0, delivered_bytes),
+            bytes_sent=sum(f.payload_size for f in self.frames if f.src_ip == ip),
+            packets_expected=len(data_frames),
+            packets_missed=len(missed),
+            missed_schedules=missed_schedules,
+            schedules_heard=schedules_heard,
+            early_wait_s=early_wait_s,
+            miss_recovery_s=miss_recovery_s,
+            optimal_saved_pct=optimal_saved_pct,
+            extra=dict(extra or {}),
+        )
+
+    def naive_report(self, name: str, ip: str, kind: str = "video") -> EnergyBreakdown:
+        """Just the naive breakdown for ``ip`` (helper for tests)."""
+        return naive_breakdown(
+            rx_frames=self.rx_intervals(ip),
+            tx_frames=self.tx_intervals(ip),
+            duration_s=self.duration_s,
+            power=self.power,
+        )

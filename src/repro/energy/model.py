@@ -1,0 +1,167 @@
+"""Energy integration over state timelines.
+
+The core primitive is *interval overlap*: given the card's awake
+intervals and the airtime intervals of frames addressed to (or sent by)
+a client, how much awake time was spent receiving/transmitting versus
+idling? Overlaps are computed with a piecewise-linear cumulative-time
+function evaluated by ``numpy.interp`` — O((n+m) log(n+m)) and fully
+vectorized, per the HPC guide's "vectorize the hot loop" advice (traces
+contain tens of thousands of frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.wnic.power import PowerModel
+
+Interval = tuple[float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyBreakdown:
+    """Per-mode residency (seconds) and the resulting energy (joules)."""
+
+    sleep_s: float
+    idle_s: float
+    receive_s: float
+    transmit_s: float
+    wake_count: int
+    energy_j: float
+
+    @property
+    def high_power_s(self) -> float:
+        """Total time in any high-power mode."""
+        return self.idle_s + self.receive_s + self.transmit_s
+
+    @property
+    def duration_s(self) -> float:
+        """Total accounted time."""
+        return self.high_power_s + self.sleep_s
+
+
+def _validate_intervals(intervals: Sequence[Interval], label: str) -> np.ndarray:
+    array = np.asarray(intervals, dtype=float).reshape(-1, 2)
+    if array.size and ((array[:, 1] < array[:, 0]).any()):
+        raise TraceError(f"{label} contains an interval with end < start")
+    if array.size > 1 and (array[1:, 0] < array[:-1, 1] - 1e-12).any():
+        raise TraceError(f"{label} intervals must be sorted and disjoint")
+    return array
+
+
+def cumulative_time_fn(intervals: Sequence[Interval]):
+    """Return F where F(t) = total time covered by ``intervals`` before t.
+
+    ``intervals`` must be sorted and disjoint (awake intervals from a
+    WNIC log always are).
+    """
+    array = _validate_intervals(intervals, "base")
+    if array.size == 0:
+        return lambda t: np.zeros_like(np.asarray(t, dtype=float))
+    edges = array.reshape(-1)  # start0, end0, start1, end1, ...
+    durations = array[:, 1] - array[:, 0]
+    cumulative = np.zeros(edges.size)
+    cumulative[1::2] = np.cumsum(durations)
+    cumulative[2::2] = np.cumsum(durations)[:-1]
+
+    def fn(t):
+        return np.interp(np.asarray(t, dtype=float), edges, cumulative)
+
+    return fn
+
+
+def overlap_total(
+    base: Sequence[Interval], queries: Sequence[Interval]
+) -> float:
+    """Total overlap between ``base`` (sorted, disjoint) and ``queries``.
+
+    ``queries`` may overlap each other; overlapping query intervals are
+    merged first so shared airtime is not double counted.
+    """
+    query_array = np.asarray(queries, dtype=float).reshape(-1, 2)
+    if query_array.size == 0:
+        return 0.0
+    merged = merge_intervals(query_array)
+    fn = cumulative_time_fn(base)
+    return float(np.sum(fn(merged[:, 1]) - fn(merged[:, 0])))
+
+
+def merge_intervals(intervals: np.ndarray) -> np.ndarray:
+    """Merge possibly-overlapping intervals into a sorted disjoint set."""
+    array = np.asarray(intervals, dtype=float).reshape(-1, 2)
+    if array.size == 0:
+        return array
+    order = np.argsort(array[:, 0], kind="stable")
+    array = array[order]
+    merged = [list(array[0])]
+    for start, end in array[1:]:
+        if start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return np.asarray(merged)
+
+
+def integrate_intervals(
+    awake: Sequence[Interval],
+    rx_frames: Sequence[Interval],
+    tx_frames: Sequence[Interval],
+    duration_s: float,
+    wake_count: int,
+    power: PowerModel,
+) -> EnergyBreakdown:
+    """Account one client's energy from its awake/rx/tx intervals.
+
+    Receive residency only counts where it overlaps awake time (a
+    sleeping card cannot hear the medium). Transmit residency counts in
+    full: the card wakes itself to send (e.g. TCP ACKs or receiver
+    reports fired while the daemon sleeps), so transmit time outside
+    the daemon's awake windows is charged at transmit power and
+    subtracted from sleep time.
+    """
+    if duration_s < 0:
+        raise TraceError(f"negative duration: {duration_s}")
+    awake_array = _validate_intervals(awake, "awake")
+    awake_total = float(np.sum(awake_array[:, 1] - awake_array[:, 0])) if awake_array.size else 0.0
+    receive_s = overlap_total(awake, rx_frames)
+    tx_in_awake = overlap_total(awake, tx_frames)
+    tx_array = np.asarray(tx_frames, dtype=float).reshape(-1, 2)
+    transmit_s = (
+        float(np.sum(merge_intervals(tx_array)[:, 1] - merge_intervals(tx_array)[:, 0]))
+        if tx_array.size
+        else 0.0
+    )
+    # rx/tx overlap is impossible on a half-duplex card; guard anyway.
+    idle_s = max(0.0, awake_total - receive_s - tx_in_awake)
+    sleep_s = max(0.0, duration_s - awake_total - (transmit_s - tx_in_awake))
+    energy = power.energy(sleep_s, idle_s, receive_s, transmit_s, wake_count)
+    return EnergyBreakdown(
+        sleep_s=sleep_s,
+        idle_s=idle_s,
+        receive_s=receive_s,
+        transmit_s=transmit_s,
+        wake_count=wake_count,
+        energy_j=energy,
+    )
+
+
+def naive_breakdown(
+    rx_frames: Sequence[Interval],
+    tx_frames: Sequence[Interval],
+    duration_s: float,
+    power: PowerModel,
+) -> EnergyBreakdown:
+    """The naive client: awake for the whole trace, hears every frame."""
+    whole = [(0.0, duration_s)]
+    return integrate_intervals(
+        awake=whole,
+        rx_frames=rx_frames,
+        tx_frames=tx_frames,
+        duration_s=duration_s,
+        wake_count=0,
+        power=power,
+    )

@@ -1,0 +1,74 @@
+"""The paper's theoretical-optimal energy savings (§4.3).
+
+The optimal client keeps its WNIC in high-power mode *only* while its
+bytes are on the air — as if the whole stream were sent in one
+contiguous burst — and sleeps the rest of the time, with no schedule
+reception, no early wake-up and no misses. The naive client idles
+whenever it is not receiving. In the paper's notation::
+
+                T_recv * e_r + (T_p - T_recv) * e_s
+    saved = 1 - -----------------------------------
+                     T_np * e_i + B * e_b
+
+where ``T_recv`` is the time to receive the stream back-to-back,
+``e_r``/``e_s``/``e_i`` are the receive/sleep/idle powers, ``T_p`` and
+``T_np`` are the stream durations with and without the proxy (equal
+for rate-controlled streams), ``B`` the stream bytes and ``e_b`` the
+*extra* energy per byte a receiving card pays above idle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.wnic.power import PowerModel
+
+
+def optimal_energy_j(
+    stream_bytes: int,
+    duration_s: float,
+    effective_rate_bps: float,
+    power: PowerModel,
+) -> float:
+    """Energy of the optimal client for a stream of ``stream_bytes``."""
+    t_recv = receive_time_s(stream_bytes, effective_rate_bps)
+    if t_recv > duration_s:
+        raise ConfigurationError(
+            "stream cannot fit its own duration at the given rate"
+        )
+    return t_recv * power.receive_w + (duration_s - t_recv) * power.sleep_w
+
+
+def naive_energy_j(
+    stream_bytes: int,
+    duration_s: float,
+    effective_rate_bps: float,
+    power: PowerModel,
+) -> float:
+    """Energy of the naive client (idle whenever not receiving)."""
+    extra_per_byte = (power.receive_w - power.idle_w) * 8.0 / effective_rate_bps
+    return duration_s * power.idle_w + stream_bytes * extra_per_byte
+
+
+def receive_time_s(stream_bytes: int, effective_rate_bps: float) -> float:
+    """Time to receive ``stream_bytes`` back-to-back at the effective rate."""
+    if effective_rate_bps <= 0:
+        raise ConfigurationError(
+            f"effective rate must be positive: {effective_rate_bps!r}"
+        )
+    if stream_bytes < 0:
+        raise ConfigurationError(f"negative stream size: {stream_bytes!r}")
+    return stream_bytes * 8.0 / effective_rate_bps
+
+
+def optimal_energy_saved_pct(
+    stream_bytes: int,
+    duration_s: float,
+    effective_rate_bps: float,
+    power: PowerModel,
+) -> float:
+    """Percent energy the optimal client saves over the naive client."""
+    optimal = optimal_energy_j(
+        stream_bytes, duration_s, effective_rate_bps, power
+    )
+    naive = naive_energy_j(stream_bytes, duration_s, effective_rate_bps, power)
+    return 100.0 * (1.0 - optimal / naive)

@@ -1,0 +1,100 @@
+"""Per-client reports and experiment-level aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.energy.model import EnergyBreakdown
+
+
+@dataclass(frozen=True, slots=True)
+class ClientReport:
+    """Everything the paper reports about one client.
+
+    ``energy_saved_pct`` compares the power-aware client against its
+    own naive counterpart (same traffic, card always in high-power
+    mode) — the paper's headline metric.
+    """
+
+    name: str
+    ip: str
+    kind: str  # "video" | "web" | "ftp"
+    breakdown: EnergyBreakdown
+    naive: EnergyBreakdown
+    bytes_received: int
+    bytes_sent: int
+    packets_expected: int
+    packets_missed: int
+    missed_schedules: int
+    schedules_heard: int
+    early_wait_s: float
+    miss_recovery_s: float
+    optimal_saved_pct: Optional[float] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def energy_j(self) -> float:
+        """Energy the power-aware client used."""
+        return self.breakdown.energy_j
+
+    @property
+    def naive_energy_j(self) -> float:
+        """Energy a naive (always-on) client would have used."""
+        return self.naive.energy_j
+
+    @property
+    def energy_saved_pct(self) -> float:
+        """Percent energy saved versus the naive client."""
+        if self.naive.energy_j <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.breakdown.energy_j / self.naive.energy_j)
+
+    @property
+    def loss_pct(self) -> float:
+        """Percent of expected packets missed (lost/dropped on the air)."""
+        if self.packets_expected <= 0:
+            return 0.0
+        return 100.0 * self.packets_missed / self.packets_expected
+
+    @property
+    def gap_to_optimal_pct(self) -> Optional[float]:
+        """How far the measured savings fall short of the optimum."""
+        if self.optimal_saved_pct is None:
+            return None
+        return self.optimal_saved_pct - self.energy_saved_pct
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSummary:
+    """Average / min / max statistics over a set of client reports."""
+
+    count: int
+    avg_saved_pct: float
+    min_saved_pct: float
+    max_saved_pct: float
+    avg_loss_pct: float
+    max_loss_pct: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} saved avg={self.avg_saved_pct:.1f}% "
+            f"[{self.min_saved_pct:.1f}, {self.max_saved_pct:.1f}] "
+            f"loss avg={self.avg_loss_pct:.2f}% max={self.max_loss_pct:.2f}%"
+        )
+
+
+def summarize(reports: Sequence[ClientReport]) -> ExperimentSummary:
+    """Aggregate client reports the way the paper's bar charts do."""
+    if not reports:
+        return ExperimentSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    saved = [report.energy_saved_pct for report in reports]
+    loss = [report.loss_pct for report in reports]
+    return ExperimentSummary(
+        count=len(reports),
+        avg_saved_pct=sum(saved) / len(saved),
+        min_saved_pct=min(saved),
+        max_saved_pct=max(saved),
+        avg_loss_pct=sum(loss) / len(loss),
+        max_loss_pct=max(loss),
+    )

@@ -1,0 +1,33 @@
+"""Experiment harness: scenario builders, runners, figures and tables.
+
+Each experiment id (E1..E11) in DESIGN.md maps to a driver here; the
+``benchmarks/`` tree calls these drivers and prints the same rows and
+series the paper reports.
+"""
+
+from repro.experiments import baselines, figures, report_gen, tables
+from repro.experiments.runner import (
+    ClientSpec,
+    ExperimentConfig,
+    ExperimentResult,
+    mixed,
+    run_experiment,
+    video_only,
+)
+from repro.experiments.scenarios import Scenario, ScenarioConfig, build_scenario
+
+__all__ = [
+    "ClientSpec",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Scenario",
+    "ScenarioConfig",
+    "baselines",
+    "build_scenario",
+    "figures",
+    "mixed",
+    "report_gen",
+    "run_experiment",
+    "tables",
+    "video_only",
+]

@@ -1,0 +1,359 @@
+"""Experiment runner: configuration → scenario → workloads → reports.
+
+The runner is the one place where all the pieces meet: it wires the
+testbed (:mod:`~repro.experiments.scenarios`), the scheduling policy,
+the client daemons and the workloads, runs the simulation, and feeds
+the monitoring station's capture through the energy analyzer — the
+exact pipeline of the paper's §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.bandwidth_model import calibrate
+from repro.core.client import PowerAwareClient
+from repro.core.delay_comp import AdaptiveCompensator, FixedClockCompensator
+from repro.core.scheduler import DynamicScheduler
+from repro.core.static_schedule import StaticClient, StaticScheduler, build_layout
+from repro.energy.analyzer import EnergyAnalyzer
+from repro.energy.optimal import optimal_energy_saved_pct
+from repro.energy.report import ClientReport, ExperimentSummary, summarize
+from repro.errors import ConfigurationError
+from repro.net.addr import Endpoint
+from repro.units import mib
+from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
+from repro.workloads.ftp import FTP_PORT, FtpClientApp, FtpServerApp
+from repro.workloads.video import (
+    VIDEO_PORT,
+    VideoClientApp,
+    VideoServerApp,
+    VideoStreamConfig,
+)
+from repro.workloads.web import HTTP_PORT, WebClientApp, WebScript, WebServerApp
+
+from repro.experiments.scenarios import (
+    FTP_SERVER_IP,
+    ScenarioConfig,
+    VIDEO_SERVER_IP,
+    WEB_SERVER_IP,
+    build_scenario,
+    client_ip,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ClientSpec:
+    """What one client does during the experiment."""
+
+    kind: str  # "video" | "web" | "ftp"
+    video_kbps: int = 56
+    ftp_bytes: int = mib(2)
+    web_pages: int = 40
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("video", "web", "ftp"):
+            raise ConfigurationError(f"unknown client kind: {self.kind!r}")
+
+
+@dataclass
+class ExperimentConfig:
+    """Full description of one experiment run."""
+
+    clients: list[ClientSpec] = field(
+        default_factory=lambda: [ClientSpec("video")] * 10
+    )
+    #: Fixed burst interval in seconds, or None for the variable policy.
+    burst_interval_s: Optional[float] = 0.5
+    scheduler: str = "dynamic"  # "dynamic" | "static"
+    static_tcp_weight: float = 0.0
+    early_s: float = 0.006
+    compensator: str = "adaptive"  # "adaptive" | "fixed"
+    fixed_clock_offset_error_s: float = 0.0
+    duration_s: float = 119.0
+    warmup_s: float = 0.5
+    start_stagger_s: float = 1.0  # paper: requests spaced ~1 s apart
+    seed: int = 0
+    reuse_schedules: bool = False
+    adaptive_video: bool = True
+    power: PowerModel = WAVELAN_2_4GHZ
+    scenario: Optional[ScenarioConfig] = None
+    #: False reproduces the paper's postmortem mode: clients receive
+    #: even while "asleep", and drops are computed offline (§4.3).
+    enforce_sleep_drops: bool = True
+    #: False leaves clients naive (always awake) — baselines/ablations.
+    power_aware_clients: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("dynamic", "static"):
+            raise ConfigurationError(f"unknown scheduler: {self.scheduler!r}")
+        if self.compensator not in ("adaptive", "fixed"):
+            raise ConfigurationError(f"unknown compensator: {self.compensator!r}")
+        if not self.clients:
+            raise ConfigurationError("experiment needs at least one client")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    config: ExperimentConfig
+    reports: list[ClientReport]
+    summary: ExperimentSummary
+    video_summary: ExperimentSummary
+    tcp_summary: ExperimentSummary
+    peak_proxy_buffer_bytes: int
+    schedules_sent: int
+    schedules_reused: int
+    medium_frames: int
+    medium_misses: int
+    downshifts: int
+    duration_s: float
+
+    @property
+    def clients(self) -> list[ClientReport]:
+        """Alias used throughout the examples."""
+        return self.reports
+
+    def report_for(self, index: int) -> ClientReport:
+        return self.reports[index]
+
+
+def video_only(
+    bitrates_kbps: list[int],
+    burst_interval_s: Optional[float] = 0.5,
+    **overrides,
+) -> ExperimentConfig:
+    """The Figure 4 configurations: N video clients."""
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=rate) for rate in bitrates_kbps],
+        burst_interval_s=burst_interval_s,
+        **overrides,
+    )
+
+
+def mixed(
+    video_bitrates_kbps: list[int],
+    n_web: int,
+    burst_interval_s: Optional[float] = 0.5,
+    **overrides,
+) -> ExperimentConfig:
+    """The Figure 5 configurations: video + web clients."""
+    clients = [ClientSpec("video", video_kbps=r) for r in video_bitrates_kbps]
+    clients += [ClientSpec("web")] * n_web
+    return ExperimentConfig(
+        clients=clients, burst_interval_s=burst_interval_s, **overrides
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment end to end and analyze it."""
+    scenario_config = config.scenario or ScenarioConfig(
+        n_clients=len(config.clients), seed=config.seed
+    )
+    if scenario_config.n_clients != len(config.clients):
+        raise ConfigurationError(
+            "scenario.n_clients must match len(config.clients)"
+        )
+    scenario = build_scenario(scenario_config)
+    sim = scenario.sim
+    cost_model = calibrate(scenario.medium)
+
+    # -- scheduling policy ---------------------------------------------------
+    if config.scheduler == "dynamic":
+        scheduler = DynamicScheduler(
+            scenario.proxy,
+            cost_model,
+            interval_s=config.burst_interval_s,
+            reuse_schedules=config.reuse_schedules,
+        )
+    else:
+        if config.burst_interval_s is None:
+            raise ConfigurationError("static scheduling needs a fixed interval")
+        udp_ips = [
+            client_ip(i)
+            for i, spec in enumerate(config.clients)
+            if spec.kind == "video"
+        ]
+        tcp_ips = [
+            client_ip(i)
+            for i, spec in enumerate(config.clients)
+            if spec.kind != "video"
+        ]
+        layout = build_layout(
+            udp_ips or [client_ip(i) for i in range(len(config.clients))],
+            interval_s=config.burst_interval_s,
+            tcp_weight=config.static_tcp_weight,
+            tcp_clients=tcp_ips,
+        )
+        scheduler = StaticScheduler(scenario.proxy, cost_model, layout)
+    scenario.proxy.attach_scheduler(scheduler)
+    scenario.proxy.start()
+
+    # -- client daemons -----------------------------------------------------
+    for handle, spec in zip(scenario.clients, config.clients):
+        if not config.power_aware_clients:
+            continue  # naive clients: card stays in high-power mode
+        if config.scheduler == "dynamic":
+            if config.compensator == "adaptive":
+                compensator = AdaptiveCompensator(early_s=config.early_s)
+            else:
+                compensator = FixedClockCompensator(
+                    early_s=config.early_s,
+                    clock_offset_estimate_s=config.fixed_clock_offset_error_s,
+                )
+            handle.daemon = PowerAwareClient(
+                handle.node, handle.wnic, compensator, trace=scenario.trace,
+                enforce_sleep_drops=config.enforce_sleep_drops,
+            )
+        else:
+            handle.daemon = StaticClient(
+                handle.node, handle.wnic, early_s=config.early_s,
+                trace=scenario.trace,
+            )
+
+    # -- workloads ------------------------------------------------------------
+    video_apps: dict[int, tuple[VideoServerApp, VideoClientApp]] = {}
+    web_apps: dict[int, WebClientApp] = {}
+    ftp_apps: dict[int, FtpClientApp] = {}
+    if any(spec.kind == "web" for spec in config.clients):
+        WebServerApp(scenario.web_server)
+    if any(spec.kind == "ftp" for spec in config.clients):
+        FtpServerApp(scenario.ftp_server)
+
+    for index, spec in enumerate(config.clients):
+        handle = scenario.clients[index]
+        start_at = config.warmup_s + index * config.start_stagger_s
+        if spec.kind == "video":
+            stream_config = VideoStreamConfig(
+                nominal_kbps=spec.video_kbps,
+                duration_s=config.duration_s,
+                adaptive=config.adaptive_video,
+            )
+            server_app = VideoServerApp(
+                scenario.video_server,
+                Endpoint(handle.node.ip, VIDEO_PORT),
+                stream_config,
+                rng=scenario.streams.get(f"video:{index}"),
+                stream_id=index,
+                start_at=start_at,
+            )
+            client_app = VideoClientApp(
+                handle.node,
+                Endpoint(VIDEO_SERVER_IP, VIDEO_PORT),
+                feedback_endpoint=server_app.feedback_endpoint
+                if config.adaptive_video
+                else None,
+                report_offset_s=0.05 + 0.293 * index,
+            )
+            video_apps[index] = (server_app, client_app)
+        elif spec.kind == "web":
+            script = WebScript.generate(
+                scenario.streams.get(f"web:{index}"), n_pages=spec.web_pages
+            )
+            web_apps[index] = WebClientApp(
+                handle.node,
+                Endpoint(WEB_SERVER_IP, HTTP_PORT),
+                script,
+                start_at=start_at,
+                stop_at=config.warmup_s + config.duration_s,
+            )
+        else:
+            ftp_apps[index] = FtpClientApp(
+                handle.node,
+                Endpoint(FTP_SERVER_IP, FTP_PORT),
+                file_size=spec.ftp_bytes,
+                start_at=start_at,
+            )
+
+    # -- run --------------------------------------------------------------------
+    horizon = config.warmup_s + config.duration_s + 2.0
+    sim.run(until=horizon)
+
+    # -- analyze -------------------------------------------------------------------
+    analyzer = EnergyAnalyzer(
+        scenario.monitor.frames,
+        config.power,
+        duration_s=sim.now,
+        trace=scenario.trace,
+    )
+    effective_rate = cost_model.effective_rate_bps(mss=700)
+    reports: list[ClientReport] = []
+    downshifts = 0
+    for index, spec in enumerate(config.clients):
+        handle = scenario.clients[index]
+        optimal_pct = None
+        extra: dict = {}
+        if spec.kind == "video":
+            server_app, client_app = video_apps[index]
+            downshifts += server_app.downshifts
+            optimal_pct = optimal_energy_saved_pct(
+                server_app.bytes_sent, sim.now, effective_rate, config.power
+            )
+            extra = {
+                "app_bytes": client_app.bytes_received,
+                "downshifts": server_app.downshifts,
+                "app_loss": client_app.loss_fraction,
+            }
+        elif spec.kind == "web":
+            app = web_apps[index]
+            optimal_pct = optimal_energy_saved_pct(
+                app.bytes_received,
+                sim.now,
+                cost_model.effective_rate_bps(),
+                config.power,
+            )
+            extra = {
+                "app_bytes": app.bytes_received,
+                "pages_loaded": app.pages_loaded,
+                "objects_loaded": app.objects_loaded,
+                "mean_object_latency_s": app.mean_object_latency,
+            }
+        else:
+            app = ftp_apps[index]
+            optimal_pct = optimal_energy_saved_pct(
+                app.bytes_received,
+                sim.now,
+                cost_model.effective_rate_bps(),
+                config.power,
+            )
+            extra = {
+                "app_bytes": app.bytes_received,
+                "done": app.done,
+                "transfer_time_s": app.transfer_time_s,
+            }
+        counters = getattr(handle.daemon, "counters", None) or {}
+        reports.append(
+            analyzer.analyze(
+                name=handle.node.name,
+                ip=handle.node.ip,
+                wnic=handle.wnic,
+                kind=spec.kind,
+                optimal_saved_pct=optimal_pct,
+                missed_schedules=counters.get("missed_schedules", 0),
+                schedules_heard=counters.get("schedules_heard", 0),
+                early_wait_s=counters.get(
+                    "early_wait_s", getattr(handle.daemon, "early_wait_s", 0.0)
+                ),
+                miss_recovery_s=counters.get("miss_recovery_s", 0.0),
+                extra=extra,
+            )
+        )
+
+    video_reports = [r for r in reports if r.kind == "video"]
+    tcp_reports = [r for r in reports if r.kind in ("web", "ftp")]
+    return ExperimentResult(
+        config=config,
+        reports=reports,
+        summary=summarize(reports),
+        video_summary=summarize(video_reports),
+        tcp_summary=summarize(tcp_reports),
+        peak_proxy_buffer_bytes=scenario.proxy.peak_buffered_bytes,
+        schedules_sent=getattr(scheduler, "schedules_sent", 0),
+        schedules_reused=getattr(scheduler, "schedules_reused", 0),
+        medium_frames=scenario.medium.frames_sent,
+        medium_misses=scenario.medium.frames_missed,
+        downshifts=downshifts,
+        duration_s=sim.now,
+    )

@@ -1,0 +1,195 @@
+"""Topology builders reproducing the paper's testbed (§4.1).
+
+The physical layout::
+
+    servers --- 100 Mb/s LAN --- proxy --- 100 Mb/s --- AP ))) clients
+                                                         )))  monitor
+
+Every stochastic element draws from named streams of one seeded
+:class:`~repro.sim.random.RngStreams`, so a scenario is a pure function
+of its configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.proxy import TransparentProxy
+from repro.net.access_point import AccessPoint
+from repro.net.link import Link
+from repro.net.medium import WirelessMedium
+from repro.net.node import Node
+from repro.net.sniffer import MonitoringStation
+from repro.sim import RngStreams, Simulator, TraceRecorder
+from repro.units import mbps, ms
+from repro.wnic.states import Wnic
+
+#: Address plan (mirrors the paper's single-AP cell).
+PROXY_IP = "10.0.0.1"
+AP_IP = "10.0.0.254"
+VIDEO_SERVER_IP = "10.0.2.1"
+WEB_SERVER_IP = "10.0.2.2"
+FTP_SERVER_IP = "10.0.2.3"
+CLIENT_IP_BASE = "10.0.1."
+
+
+def client_ip(index: int) -> str:
+    """The address of client ``index`` (0-based)."""
+    return f"{CLIENT_IP_BASE}{index + 1}"
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs of the physical testbed."""
+
+    n_clients: int = 10
+    seed: int = 0
+    wired_rate_bps: float = mbps(100)
+    wired_latency_s: float = ms(0.1)
+    medium_rate_bps: float = mbps(11)
+    medium_frame_overhead_s: float = 0.0008
+    medium_backoff_s: float = 0.0004
+    medium_loss_rate: float = 0.0005  # sporadic channel loss
+    ap_jitter_mean_s: float = 0.0009
+    ap_spike_prob: float = 0.03
+    ap_spike_max_s: float = 0.006
+    servers: tuple[str, ...] = (VIDEO_SERVER_IP, WEB_SERVER_IP, FTP_SERVER_IP)
+    tcp_mode: str = "split"  # see TransparentProxy
+
+
+@dataclass
+class ClientHandle:
+    """One mobile client: node + card (+ daemon, attached later)."""
+
+    index: int
+    node: Node
+    wnic: Wnic
+    daemon: object = None
+
+
+@dataclass
+class Scenario:
+    """A fully wired testbed, ready for workloads and a scheduler."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    streams: RngStreams
+    trace: TraceRecorder
+    medium: WirelessMedium
+    ap: AccessPoint
+    proxy: TransparentProxy
+    servers: dict[str, Node]
+    clients: list[ClientHandle]
+    monitor: MonitoringStation
+    lan_hub: Node = None
+
+    @property
+    def video_server(self) -> Node:
+        return self.servers[VIDEO_SERVER_IP]
+
+    @property
+    def web_server(self) -> Node:
+        return self.servers[WEB_SERVER_IP]
+
+    @property
+    def ftp_server(self) -> Node:
+        return self.servers[FTP_SERVER_IP]
+
+
+def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
+    """Assemble the testbed of §4.1 from a configuration."""
+    config = config or ScenarioConfig()
+    sim = Simulator()
+    streams = RngStreams(seed=config.seed)
+    trace = TraceRecorder()
+
+    client_ips = {client_ip(i) for i in range(config.n_clients)}
+
+    # -- wireless cell -----------------------------------------------------
+    loss_rng = streams.get("medium-loss")
+    drop = None
+    if config.medium_loss_rate > 0:
+        rate = config.medium_loss_rate
+
+        def drop(packet, _rng=loss_rng, _rate=rate):
+            return bool(_rng.random() < _rate)
+
+    medium = WirelessMedium(
+        sim,
+        rate_bps=config.medium_rate_bps,
+        frame_overhead_s=config.medium_frame_overhead_s,
+        max_backoff_s=config.medium_backoff_s,
+        rng=streams.get("medium-backoff"),
+        trace=trace,
+        drop=drop,
+    )
+    ap = AccessPoint(
+        sim, "ap", AP_IP,
+        rng=streams.get("ap-jitter"),
+        trace=trace,
+        jitter_mean_s=config.ap_jitter_mean_s,
+        spike_prob=config.ap_spike_prob,
+        spike_max_s=config.ap_spike_max_s,
+    )
+    medium.attach(ap.wireless, gateway=True)
+
+    monitor = MonitoringStation(sim)
+    monitor.attach_to(medium)
+
+    # -- proxy and wired segments --------------------------------------------
+    proxy = TransparentProxy(
+        sim, "proxy", PROXY_IP, client_ips, trace=trace,
+        tcp_mode=config.tcp_mode,
+    )
+    Link(sim, config.wired_rate_bps, config.wired_latency_s).attach(
+        proxy.air, ap.wired
+    )
+
+    hub = Node(sim, "lan-hub", "10.0.2.254", trace=trace)
+    hub.forwarding = True
+    hub_proxy_iface = hub.add_interface("uplink")
+    Link(sim, config.wired_rate_bps, config.wired_latency_s).attach(
+        proxy.lan, hub_proxy_iface
+    )
+    hub.set_default_route(hub_proxy_iface)
+
+    servers: dict[str, Node] = {}
+    for server_addr in config.servers:
+        server = Node(sim, f"server-{server_addr}", server_addr, trace=trace)
+        server_iface = server.add_interface("eth0")
+        hub_iface = hub.add_interface(f"port-{server_addr}")
+        Link(sim, config.wired_rate_bps, config.wired_latency_s).attach(
+            server_iface, hub_iface
+        )
+        server.set_default_route(server_iface)
+        hub.add_route(server_addr, hub_iface)
+        servers[server_addr] = server
+
+    proxy.wire_routes(set(config.servers))
+    proxy.set_default_route(proxy.lan)
+
+    # -- clients ------------------------------------------------------------
+    clients: list[ClientHandle] = []
+    for index in range(config.n_clients):
+        ip = client_ip(index)
+        node = Node(sim, f"client-{index}", ip, trace=trace)
+        iface = node.add_interface("wl0")
+        medium.attach(iface)
+        node.set_default_route(iface)
+        wnic = Wnic(sim, node.name, trace=trace)
+        clients.append(ClientHandle(index=index, node=node, wnic=wnic))
+
+    return Scenario(
+        config=config,
+        sim=sim,
+        streams=streams,
+        trace=trace,
+        medium=medium,
+        ap=ap,
+        proxy=proxy,
+        servers=servers,
+        clients=clients,
+        monitor=monitor,
+        lan_hub=hub,
+    )

@@ -1,0 +1,32 @@
+"""Network substrate: packets, links, wireless medium, UDP/TCP, tooling.
+
+This package models the paper's testbed network: wired Fast Ethernet
+segments between servers, proxy and access point, and a shared 11 Mbps
+802.11b wireless cell between the access point and the mobile clients.
+It also provides the supporting machinery the paper relied on: a
+spoofing/NAT table (the IPQ analog), a DummyNet-style traffic shaper,
+and a promiscuous monitoring station (the tcpdump analog).
+"""
+
+from repro.net.addr import BROADCAST_IP, Endpoint, FlowKey
+from repro.net.link import Link
+from repro.net.medium import WirelessMedium
+from repro.net.node import Interface, Node
+from repro.net.packet import Packet, TcpFlags
+from repro.net.sniffer import FrameRecord, MonitoringStation
+from repro.net.udp import UdpSocket
+
+__all__ = [
+    "BROADCAST_IP",
+    "Endpoint",
+    "FlowKey",
+    "FrameRecord",
+    "Interface",
+    "Link",
+    "MonitoringStation",
+    "Node",
+    "Packet",
+    "TcpFlags",
+    "UdpSocket",
+    "WirelessMedium",
+]

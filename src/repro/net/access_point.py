@@ -1,0 +1,101 @@
+"""The wireless access point.
+
+The AP bridges the wired distribution network and the wireless cell.
+Forwarding preserves FIFO order but adds a random per-packet processing
+delay — the paper's §3.3 observes that "all packets must pass through
+the access point [which] can cause a packet to arrive earlier or later
+than expected", and this delay is exactly what the clients' delay
+compensation algorithms must absorb.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.net.addr import BROADCAST_IP
+from repro.net.node import Interface, Node
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.sim.resources import Store
+from repro.sim.trace import TraceRecorder
+
+#: Default mean of the exponential forwarding jitter.
+DEFAULT_JITTER_MEAN_S = 0.0009
+#: Default probability of a slow-path forwarding spike.
+DEFAULT_SPIKE_PROB = 0.03
+#: Default maximum extra delay of a spike (uniform on [0, max]).
+DEFAULT_SPIKE_MAX_S = 0.006
+#: Fixed base forwarding latency.
+DEFAULT_BASE_DELAY_S = 0.0003
+
+
+class AccessPoint(Node):
+    """A store-and-forward AP with jittery but order-preserving forwarding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: str,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+        base_delay_s: float = DEFAULT_BASE_DELAY_S,
+        jitter_mean_s: float = DEFAULT_JITTER_MEAN_S,
+        spike_prob: float = DEFAULT_SPIKE_PROB,
+        spike_max_s: float = DEFAULT_SPIKE_MAX_S,
+    ) -> None:
+        super().__init__(sim, name, ip, trace=trace)
+        self.forwarding = True
+        self.rng = rng
+        self.base_delay_s = base_delay_s
+        self.jitter_mean_s = jitter_mean_s
+        self.spike_prob = spike_prob
+        self.spike_max_s = spike_max_s
+        self.wired = self.add_interface("wired")
+        self.wireless = self.add_interface("wireless")
+        # The AP's own broadcasts (e.g. PSM beacons) go on the air.
+        self.add_route(BROADCAST_IP, self.wireless)
+        self._downlink: Store = Store(sim)
+        self._uplink: Store = Store(sim)
+        sim.process(self._forwarder(self._downlink, self.wireless))
+        sim.process(self._forwarder(self._uplink, self.wired))
+        self.max_downlink_depth = 0
+
+    def on_receive(self, in_iface: Interface, packet: Packet) -> None:
+        """Receive, but relay wired-side broadcasts into the cell first.
+
+        The proxy broadcasts its schedule messages from the wired side;
+        a real AP bridges them onto the air, so ours must too (it also
+        still dispatches them locally, as the base class does).
+        """
+        if packet.is_broadcast and in_iface is self.wired:
+            self.forward(in_iface, packet)
+        super().on_receive(in_iface, packet)
+
+    def forward(self, in_iface: Interface, packet: Packet) -> None:
+        """Queue a transit packet on the appropriate forwarding path."""
+        self.packets_forwarded += 1
+        if in_iface is self.wired:
+            self._downlink.put(packet)
+            self.max_downlink_depth = max(
+                self.max_downlink_depth, len(self._downlink)
+            )
+        else:
+            self._uplink.put(packet)
+
+    def _forwarding_delay(self) -> float:
+        delay = self.base_delay_s
+        if self.rng is not None:
+            if self.jitter_mean_s > 0:
+                delay += self.rng.exponential(self.jitter_mean_s)
+            if self.spike_prob > 0 and self.rng.random() < self.spike_prob:
+                delay += self.rng.uniform(0.0, self.spike_max_s)
+        return delay
+
+    def _forwarder(self, queue: Store, out_iface: Interface):
+        while True:
+            packet = yield queue.get()
+            yield self.sim.timeout(self._forwarding_delay())
+            out_iface.send(packet)

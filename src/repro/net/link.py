@@ -1,0 +1,107 @@
+"""Full-duplex point-to-point links (the wired Fast Ethernet segments).
+
+Each direction serializes packets FIFO at the link rate, then delays
+them by propagation latency plus optional jitter. A drop hook supports
+loss experiments (the paper's Netfilter/DummyNet runs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.node import Interface
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.units import transmit_time
+
+#: Optional per-packet hooks.
+JitterFn = Callable[[Packet], float]
+DropFn = Callable[[Packet], bool]
+
+
+class _Direction:
+    """One direction of a link: FIFO serialization + delayed delivery."""
+
+    def __init__(self, link: "Link", dst_iface: Interface) -> None:
+        self.link = link
+        self.dst_iface = dst_iface
+        self.queue: deque[Packet] = deque()
+        self.busy = False
+
+    def enqueue(self, packet: Packet) -> None:
+        self.queue.append(packet)
+        if not self.busy:
+            self.busy = True
+            self.link.sim.process(self._drain())
+
+    def _drain(self):
+        sim = self.link.sim
+        while self.queue:
+            packet = self.queue.popleft()
+            yield sim.timeout(transmit_time(packet.wire_size, self.link.rate_bps))
+            if self.link.drop is not None and self.link.drop(packet):
+                self.link.packets_dropped += 1
+                continue
+            delay = self.link.latency
+            if self.link.jitter is not None:
+                delay += max(0.0, self.link.jitter(packet))
+            self.link.packets_delivered += 1
+            dst = self.dst_iface
+            sim.call_at(sim.now + delay, lambda p=packet, d=dst: d.deliver(p))
+        self.busy = False
+
+
+class Link:
+    """A bidirectional point-to-point link between two interfaces.
+
+    Args:
+        sim: owning simulator.
+        rate_bps: serialization rate in bits per second.
+        latency: one-way propagation delay in seconds.
+        jitter: optional per-packet extra delay function.
+        drop: optional per-packet drop predicate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        latency: float = 0.0,
+        jitter: Optional[JitterFn] = None,
+        drop: Optional[DropFn] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise NetworkError(f"link rate must be positive: {rate_bps!r}")
+        if latency < 0:
+            raise NetworkError(f"negative latency: {latency!r}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.latency = latency
+        self.jitter = jitter
+        self.drop = drop
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self._ifaces: Optional[tuple[Interface, Interface]] = None
+        self._directions: dict[Interface, _Direction] = {}
+
+    def attach(self, iface_a: Interface, iface_b: Interface) -> "Link":
+        """Connect the two endpoints of this link."""
+        if self._ifaces is not None:
+            raise NetworkError("link endpoints already attached")
+        for iface in (iface_a, iface_b):
+            if iface.channel is not None:
+                raise NetworkError(f"{iface!r} is already attached to a channel")
+            iface.channel = self
+        self._ifaces = (iface_a, iface_b)
+        self._directions[iface_a] = _Direction(self, iface_b)
+        self._directions[iface_b] = _Direction(self, iface_a)
+        return self
+
+    def transmit(self, src_iface: Interface, packet: Packet) -> None:
+        """Send ``packet`` from ``src_iface`` toward the other endpoint."""
+        direction = self._directions.get(src_iface)
+        if direction is None:
+            raise NetworkError(f"{src_iface!r} is not an endpoint of this link")
+        direction.enqueue(packet)

@@ -1,0 +1,178 @@
+"""Shared half-duplex wireless medium (the 802.11b cell).
+
+One frame is in the air at a time; stations queue FIFO for the channel.
+Every attached station *hears* every frame: unicast frames are consumed
+by the addressed station (or by the gateway — the access point — when
+the destination is not a wireless station), broadcast frames by
+everyone, and promiscuous stations (the monitoring station) record all
+of them. A station whose receive gate is closed (WNIC asleep) misses
+frames addressed to it; the medium records those misses, which is how
+packet loss enters the evaluation.
+
+The airtime model is ``overhead + wire_size * 8 / rate`` plus a random
+contention backoff, which for 1500-byte frames on an 11 Mbps channel
+yields the ~4-5 Mbps effective goodput the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.net.node import Interface
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.units import transmit_time
+
+#: Default nominal channel rate (802.11b).
+DEFAULT_RATE_BPS = 11e6
+#: Default fixed per-frame MAC/PHY overhead (preamble, SIFS, MAC ACK).
+DEFAULT_FRAME_OVERHEAD_S = 0.0008
+#: Default upper bound of the uniform contention backoff.
+DEFAULT_MAX_BACKOFF_S = 0.0004
+
+
+class WirelessMedium:
+    """A shared wireless channel connecting the AP and the clients."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float = DEFAULT_RATE_BPS,
+        frame_overhead_s: float = DEFAULT_FRAME_OVERHEAD_S,
+        max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+        drop: Optional[Callable[[Packet], bool]] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise NetworkError(f"medium rate must be positive: {rate_bps!r}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.frame_overhead_s = frame_overhead_s
+        self.max_backoff_s = max_backoff_s
+        self.rng = rng
+        self.trace = trace
+        self.drop = drop
+        self._stations: list[Interface] = []
+        self._gateway: Optional[Interface] = None
+        self._queue: deque[tuple[Interface, Packet]] = deque()
+        self._busy = False
+        self.frames_sent = 0
+        self.frames_missed = 0
+        self.busy_time = 0.0
+
+    # -- topology ----------------------------------------------------------
+
+    def attach(self, iface: Interface, gateway: bool = False) -> None:
+        """Attach a station; ``gateway=True`` marks the access point side."""
+        if iface.channel is not None:
+            raise NetworkError(f"{iface!r} is already attached to a channel")
+        iface.channel = self
+        self._stations.append(iface)
+        if gateway:
+            if self._gateway is not None:
+                raise NetworkError("medium already has a gateway")
+            self._gateway = iface
+
+    @property
+    def stations(self) -> tuple[Interface, ...]:
+        """All attached interfaces."""
+        return tuple(self._stations)
+
+    # -- airtime -------------------------------------------------------------
+
+    def airtime(self, wire_size: int) -> float:
+        """Deterministic part of one frame's channel occupancy."""
+        return self.frame_overhead_s + transmit_time(wire_size, self.rate_bps)
+
+    def effective_rate_bps(self, frame_payload: int = 1472) -> float:
+        """Goodput for back-to-back frames of ``frame_payload`` bytes."""
+        wire = frame_payload + 62  # transport/IP/link headers
+        mean_backoff = self.max_backoff_s / 2.0
+        return frame_payload * 8.0 / (self.airtime(wire) + mean_backoff)
+
+    # -- transmission -----------------------------------------------------------
+
+    def transmit(self, src_iface: Interface, packet: Packet) -> None:
+        """Queue ``packet`` for the channel; FIFO, one frame at a time."""
+        if src_iface not in self._stations:
+            raise NetworkError(f"{src_iface!r} is not attached to this medium")
+        self._queue.append((src_iface, packet))
+        if not self._busy:
+            self._busy = True
+            self.sim.process(self._drain())
+
+    def _drain(self):
+        sim = self.sim
+        while self._queue:
+            src_iface, packet = self._queue.popleft()
+            start = sim.now
+            occupancy = self.airtime(packet.wire_size)
+            if self.rng is not None and self.max_backoff_s > 0:
+                occupancy += self.rng.uniform(0.0, self.max_backoff_s)
+            yield sim.timeout(occupancy)
+            self.busy_time += sim.now - start
+            if self.drop is not None and self.drop(packet):
+                if self.trace is not None:
+                    self.trace.record(
+                        sim.now, "medium.drop.channel",
+                        src=packet.src.ip, dst=packet.dst.ip,
+                        size=packet.wire_size,
+                    )
+                continue
+            self.frames_sent += 1
+            self._deliver(src_iface, packet, start, sim.now)
+        self._busy = False
+
+    def _deliver(
+        self, src_iface: Interface, packet: Packet, start: float, end: float
+    ) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                end, "medium.frame",
+                start=start, end=end,
+                src=packet.src.ip, dst=packet.dst.ip,
+                src_port=packet.src.port, dst_port=packet.dst.port,
+                proto=packet.proto, size=packet.wire_size,
+                payload=packet.payload_size, marked=packet.tos_marked,
+                broadcast=packet.is_broadcast,
+                sender=src_iface.node.name,
+                packet_id=packet.packet_id,
+            )
+        dst_is_station = any(
+            iface.node.ip == packet.dst.ip for iface in self._stations
+        )
+        for iface in self._stations:
+            if iface is src_iface:
+                continue
+            if iface.promiscuous:
+                iface.deliver(packet)
+                continue
+            addressed = (
+                packet.is_broadcast or iface.node.ip == packet.dst.ip
+            )
+            if not addressed:
+                continue
+            if iface.can_receive(packet):
+                iface.deliver(packet)
+            else:
+                self.frames_missed += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        end, "medium.miss",
+                        dst=iface.node.ip, proto=packet.proto,
+                        size=packet.wire_size, payload=packet.payload_size,
+                        marked=packet.tos_marked,
+                        broadcast=packet.is_broadcast,
+                        packet_id=packet.packet_id,
+                    )
+        if packet.is_broadcast or dst_is_station:
+            return
+        # Not a wireless station's address: hand it up to the gateway (AP).
+        if self._gateway is not None and self._gateway is not src_iface:
+            self._gateway.deliver(packet)

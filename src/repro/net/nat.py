@@ -1,0 +1,73 @@
+"""Address spoofing table — the IPQ header-rewrite analog.
+
+The paper's proxy catches packets with IPQ and rewrites their IP
+headers so that (paper Figure 3):
+
+* the client's connection, actually terminated at the proxy, appears to
+  come from the server, and
+* the proxy's connection to the server appears to come from the client.
+
+:class:`SpoofTable` holds those rewrite rules keyed by directional flow.
+The transparent proxy installs two rules per intercepted flow and runs
+every packet it emits or intercepts through :meth:`rewrite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.net.addr import Endpoint, FlowKey
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class SpoofRule:
+    """Rewrite packets matching ``match`` to carry the new endpoints."""
+
+    match: FlowKey
+    new_src: Optional[Endpoint] = None
+    new_dst: Optional[Endpoint] = None
+
+
+class SpoofTable:
+    """Flow-keyed address rewriting rules."""
+
+    def __init__(self) -> None:
+        self._rules: dict[FlowKey, SpoofRule] = {}
+        self.rewrites = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def add_rule(
+        self,
+        match: FlowKey,
+        new_src: Optional[Endpoint] = None,
+        new_dst: Optional[Endpoint] = None,
+    ) -> SpoofRule:
+        """Install a rewrite rule for packets matching ``match``."""
+        if new_src is None and new_dst is None:
+            raise NetworkError("spoof rule must rewrite something")
+        if match in self._rules:
+            raise NetworkError(f"duplicate spoof rule for {match}")
+        rule = SpoofRule(match, new_src, new_dst)
+        self._rules[match] = rule
+        return rule
+
+    def remove_flow(self, match: FlowKey) -> None:
+        """Drop the rule for ``match`` (idempotent)."""
+        self._rules.pop(match, None)
+
+    def lookup(self, packet: Packet) -> Optional[SpoofRule]:
+        """The rule that applies to ``packet``, if any."""
+        return self._rules.get(packet.flow)
+
+    def rewrite(self, packet: Packet) -> Optional[Packet]:
+        """Return a rewritten copy of ``packet``, or None if no rule matches."""
+        rule = self.lookup(packet)
+        if rule is None:
+            return None
+        self.rewrites += 1
+        return packet.spoofed(src=rule.new_src, dst=rule.new_dst)

@@ -1,0 +1,142 @@
+"""Packet model.
+
+Packets carry sizes and header metadata, never actual payload bytes —
+the evaluation only needs timing, volume and marking. The IP
+type-of-service mark (the paper's end-of-burst signal) is a mutable
+boolean set by the proxy's bursting path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Flag, auto
+from typing import Any, Optional
+
+from repro.errors import NetworkError
+from repro.net.addr import BROADCAST_IP, Endpoint, FlowKey
+
+#: IPv4 header bytes.
+IP_HEADER = 20
+#: UDP header bytes.
+UDP_HEADER = 8
+#: TCP header bytes (no options).
+TCP_HEADER = 20
+#: Link-layer framing overhead (802.11 MAC + LLC, also used for Ethernet
+#: for simplicity; the wired links are never the bottleneck).
+LINK_HEADER = 34
+
+#: Standard maximum segment size used by the TCP model.
+MSS = 1460
+
+_packet_ids = itertools.count(1)
+
+
+class TcpFlags(Flag):
+    """TCP control flags used by the simplified stack."""
+
+    NONE = 0
+    SYN = auto()
+    ACK = auto()
+    FIN = auto()
+    RST = auto()
+
+
+@dataclass(slots=True)
+class Packet:
+    """A single IP packet (UDP datagram or TCP segment).
+
+    Attributes:
+        proto: "udp" or "tcp".
+        src/dst: transport endpoints. The proxy's spoof table rewrites
+            these to keep the proxy invisible.
+        payload_size: application bytes carried (0 for pure ACKs).
+        seq: TCP: first payload byte's stream offset; UDP: datagram index.
+        ack: TCP cumulative acknowledgement (next expected byte).
+        flags: TCP control flags.
+        tos_marked: IP TOS bit the proxy sets on the last packet of a
+            client's burst.
+        meta: free-form metadata (stream ids, schedule payloads, ...).
+        created_at: simulated time the packet was created.
+    """
+
+    proto: str
+    src: Endpoint
+    dst: Endpoint
+    payload_size: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: TcpFlags = TcpFlags.NONE
+    tos_marked: bool = False
+    #: TCP SACK option: up to 3 received-but-not-yet-cumulative ranges.
+    sack_blocks: tuple = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.proto not in ("udp", "tcp"):
+            raise NetworkError(f"unknown protocol: {self.proto!r}")
+        if self.payload_size < 0:
+            raise NetworkError(f"negative payload size: {self.payload_size!r}")
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def transport_header(self) -> int:
+        """Transport header bytes for this packet's protocol."""
+        return UDP_HEADER if self.proto == "udp" else TCP_HEADER
+
+    @property
+    def ip_size(self) -> int:
+        """Bytes at the IP layer (headers + payload)."""
+        return IP_HEADER + self.transport_header + self.payload_size
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire including link framing."""
+        return LINK_HEADER + self.ip_size
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for link-local broadcast packets (schedule messages)."""
+        return self.dst.ip == BROADCAST_IP
+
+    @property
+    def flow(self) -> FlowKey:
+        """Directional flow key of this packet."""
+        return FlowKey(self.proto, self.src, self.dst)
+
+    @property
+    def end_seq(self) -> int:
+        """TCP: stream offset one past the last payload byte."""
+        return self.seq + self.payload_size
+
+    def spoofed(
+        self,
+        src: Optional[Endpoint] = None,
+        dst: Optional[Endpoint] = None,
+    ) -> "Packet":
+        """A copy with rewritten addresses (the IPQ header rewrite)."""
+        return Packet(
+            proto=self.proto,
+            src=src or self.src,
+            dst=dst or self.dst,
+            payload_size=self.payload_size,
+            seq=self.seq,
+            ack=self.ack,
+            flags=self.flags,
+            tos_marked=self.tos_marked,
+            meta=dict(self.meta),
+            created_at=self.created_at,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = " [MARK]" if self.tos_marked else ""
+        return (
+            f"<{self.proto} #{self.packet_id} {self.src}->{self.dst} "
+            f"seq={self.seq} ack={self.ack} len={self.payload_size}"
+            f" {self.flags}{mark}>"
+        )

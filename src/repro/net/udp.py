@@ -1,0 +1,125 @@
+"""UDP sockets.
+
+Datagram sockets with callback- or queue-style reception. Unreliable by
+construction: links, the medium and sleeping WNICs drop datagrams and
+nobody retransmits — exactly the behaviour the paper's video streams
+(and schedule broadcasts) rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SocketError
+from repro.net.addr import BROADCAST_IP, Endpoint
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.resources import Store
+
+#: Receive callback signature: (packet) -> None.
+RecvCallback = Callable[[Packet], None]
+
+
+class UdpSocket:
+    """A UDP socket bound to a node and local endpoint.
+
+    Args:
+        node: owning node.
+        port: local port to bind.
+        on_receive: optional callback invoked for every datagram; when
+            omitted, datagrams are buffered and retrievable with
+            :meth:`recv` (an event) or :meth:`try_recv`.
+        local_ip: bind address; defaults to the node's address. The
+            proxy binds spoofed addresses here (e.g. the server's) to
+            receive traffic transparently.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        port: int,
+        on_receive: Optional[RecvCallback] = None,
+        local_ip: Optional[str] = None,
+    ) -> None:
+        self.node = node
+        self.local = Endpoint(local_ip or node.ip, port)
+        self._on_receive = on_receive
+        self._inbox: Store = Store(node.sim)
+        self._closed = False
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        node.register_udp(self)
+
+    # -- sending ------------------------------------------------------------
+
+    def sendto(
+        self,
+        payload_size: int,
+        dst: Endpoint,
+        seq: int = 0,
+        meta: Optional[dict] = None,
+        src: Optional[Endpoint] = None,
+    ) -> Packet:
+        """Send a datagram of ``payload_size`` bytes to ``dst``.
+
+        ``src`` overrides the source endpoint for spoofed sends.
+        Returns the packet object (useful for tests and marking).
+        """
+        if self._closed:
+            raise SocketError("sendto on closed socket")
+        packet = Packet(
+            proto="udp",
+            src=src or self.local,
+            dst=dst,
+            payload_size=payload_size,
+            seq=seq,
+            meta=dict(meta or {}),
+            created_at=self.node.sim.now,
+        )
+        self.datagrams_sent += 1
+        self.bytes_sent += payload_size
+        self.node.send_packet(packet)
+        return packet
+
+    def broadcast(
+        self, payload_size: int, port: int, meta: Optional[dict] = None
+    ) -> Packet:
+        """Send a link-local broadcast (the proxy's schedule messages)."""
+        return self.sendto(payload_size, Endpoint(BROADCAST_IP, port), meta=meta)
+
+    # -- receiving -----------------------------------------------------------
+
+    def matches(self, dst: Endpoint) -> bool:
+        """Whether this socket should receive a packet sent to ``dst``."""
+        return dst.port == self.local.port and (
+            dst.ip == self.local.ip or dst.ip == BROADCAST_IP
+        )
+
+    def on_packet(self, packet: Packet) -> None:
+        """Upcall from the node's dispatcher."""
+        if self._closed:
+            return
+        self.datagrams_received += 1
+        self.bytes_received += packet.payload_size
+        if self._on_receive is not None:
+            self._on_receive(packet)
+        else:
+            self._inbox.put(packet)
+
+    def recv(self):
+        """Event that fires with the next datagram."""
+        if self._closed:
+            raise SocketError("recv on closed socket")
+        return self._inbox.get()
+
+    def try_recv(self) -> Optional[Packet]:
+        """Non-waiting receive; None when no datagram is buffered."""
+        return self._inbox.try_get()
+
+    def close(self) -> None:
+        """Unbind the socket; further sends/recvs raise."""
+        if not self._closed:
+            self._closed = True
+            self.node.unregister_udp(self)

@@ -1,0 +1,31 @@
+"""A live asyncio implementation of the transparent proxy.
+
+The discrete-event simulator (:mod:`repro.core`) carries the paper's
+evaluation; this package demonstrates that the same design runs over
+real sockets. Because a userspace process on localhost cannot spoof
+addresses or set IP TOS bits the way the paper's kernel bridge could,
+two documented substitutions apply (see DESIGN.md):
+
+* clients dial the proxy explicitly and name their target in a one-line
+  header (the kernel-bridge interception is replaced by a SOCKS-style
+  connect), and
+* the end-of-burst mark is an out-of-band UDP datagram to the client's
+  control port instead of a TOS bit.
+
+Everything else — per-client queues, the schedule message with SRP and
+rendezvous points, burst transmission, the virtual WNIC the client
+transitions around rendezvous points — matches the simulated proxy.
+"""
+
+from repro.runtime.proxy import AsyncProxy, AsyncProxyConfig
+from repro.runtime.client import AsyncPowerClient, VirtualWnic
+from repro.runtime.wire import RuntimeSchedule, RuntimeSlot
+
+__all__ = [
+    "AsyncPowerClient",
+    "AsyncProxy",
+    "AsyncProxyConfig",
+    "RuntimeSchedule",
+    "RuntimeSlot",
+    "VirtualWnic",
+]

@@ -1,0 +1,192 @@
+"""The live power-aware client shim.
+
+A real deployment would transition actual WNIC power states; on a
+development box the shim keeps a :class:`VirtualWnic` — a timestamped
+sleep/awake log driven by exactly the schedule/burst/mark events the
+paper's daemon reacts to. The log feeds the same energy model as the
+simulator, giving a wall-clock estimate of what the card *would* have
+saved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.runtime.wire import decode_control, RuntimeSchedule
+from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
+
+
+class VirtualWnic:
+    """A wall-clock sleep/awake transition log."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.transitions: list[tuple[float, str]] = [(0.0, "idle")]
+        self.wake_count = 0
+
+    def _now(self) -> float:
+        return self._clock() - self.epoch
+
+    @property
+    def is_awake(self) -> bool:
+        """True while the virtual card is in a high-power state."""
+        return self.transitions[-1][1] != "sleep"
+
+    def sleep(self) -> None:
+        """Log a transition to the low-power state (idempotent)."""
+        if self.is_awake:
+            self.transitions.append((self._now(), "sleep"))
+
+    def wake(self) -> None:
+        """Log a transition to the high-power state (idempotent)."""
+        if not self.is_awake:
+            self.wake_count += 1
+            self.transitions.append((self._now(), "idle"))
+
+    def awake_time(self, until: Optional[float] = None) -> float:
+        """Total awake seconds since the epoch."""
+        end = until if until is not None else self._now()
+        total = 0.0
+        for (t0, state), (t1, _s1) in zip(
+            self.transitions, self.transitions[1:] + [(end, "end")]
+        ):
+            if state != "sleep":
+                total += max(0.0, min(t1, end) - t0)
+        return total
+
+    def estimated_savings_pct(
+        self, power: PowerModel = WAVELAN_2_4GHZ, until: Optional[float] = None
+    ) -> float:
+        """Energy saved vs an always-idle card (receive time ignored —
+        a coarse wall-clock estimate, not the simulator's accounting)."""
+        end = until if until is not None else self._now()
+        if end <= 0:
+            return 0.0
+        awake = self.awake_time(end)
+        energy = (
+            awake * power.idle_w
+            + (end - awake) * power.sleep_w
+            + self.wake_count * power.wake_penalty_j
+        )
+        return 100.0 * (1.0 - energy / (end * power.idle_w))
+
+
+class AsyncPowerClient:
+    """Listens for schedules/marks and drives the virtual WNIC."""
+
+    def __init__(
+        self,
+        client_id: str,
+        early_s: float = 0.006,
+        wnic: Optional[VirtualWnic] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.early_s = early_s
+        self.wnic = wnic or VirtualWnic()
+        self.control_port: Optional[int] = None
+        self.schedules_heard = 0
+        self.marks_heard = 0
+        self._transport = None
+        self._task: Optional[asyncio.Task] = None
+        self._wake_handle: Optional[asyncio.TimerHandle] = None
+
+    async def start(self) -> int:
+        """Bind the UDP control socket; returns the control port."""
+        loop = asyncio.get_running_loop()
+        self._transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _ControlProtocol(self),
+            local_addr=("127.0.0.1", 0),
+        )
+        self.control_port = self._transport.get_extra_info("sockname")[1]
+        return self.control_port
+
+    def stop(self) -> None:
+        """Close the control socket and cancel pending wake timers."""
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+        if self._transport is not None:
+            self._transport.close()
+
+    # -- control events ---------------------------------------------------------
+
+    def _on_datagram(self, payload: bytes) -> None:
+        try:
+            raw = decode_control(payload)
+        except SchedulingError:
+            return
+        if raw["type"] == "schedule":
+            self._on_schedule(RuntimeSchedule.decode(payload))
+        elif raw["type"] == "mark":
+            self._on_mark()
+
+    def _on_schedule(self, schedule: RuntimeSchedule) -> None:
+        self.schedules_heard += 1
+        self.wnic.wake()
+        loop = asyncio.get_running_loop()
+        slot = schedule.slot_for(self.client_id)
+        arrival = loop.time()
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+        if slot is not None and slot.offset_s > 0.004:
+            # Sleep until the burst rendezvous point (adaptive anchor:
+            # arrival time plus the schedule's relative offset).
+            self.wnic.sleep()
+            self._wake_handle = loop.call_at(
+                arrival + slot.offset_s - self.early_s, self.wnic.wake
+            )
+        elif slot is None:
+            # No traffic: sleep until the next schedule.
+            self.wnic.sleep()
+            self._wake_handle = loop.call_at(
+                arrival + schedule.interval_s - self.early_s, self.wnic.wake
+            )
+
+    def _on_mark(self) -> None:
+        self.marks_heard += 1
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+            self._wake_handle = None
+        # Burst over: doze until the next schedule datagram. (The
+        # virtual card still "hears" it — the sockets stay open; the
+        # sleep/wake log only drives the energy estimate.)
+        self.wnic.sleep()
+
+    # -- data path --------------------------------------------------------------
+
+    async def fetch(
+        self, proxy_host: str, proxy_port: int, origin: tuple[str, int],
+        request: bytes, expect_bytes: int, timeout_s: float = 30.0,
+    ) -> bytes:
+        """Open a proxied connection and read ``expect_bytes`` back."""
+        reader, writer = await asyncio.open_connection(proxy_host, proxy_port)
+        header = (
+            f"CONNECT {origin[0]} {origin[1]} {self.client_id} "
+            f"{self.control_port}\n"
+        ).encode()
+        writer.write(header + request)
+        await writer.drain()
+        received = bytearray()
+        try:
+            while len(received) < expect_bytes:
+                chunk = await asyncio.wait_for(
+                    reader.read(65536), timeout=timeout_s
+                )
+                if not chunk:
+                    break
+                received.extend(chunk)
+        finally:
+            writer.close()
+        return bytes(received)
+
+
+class _ControlProtocol(asyncio.DatagramProtocol):
+    def __init__(self, client: AsyncPowerClient) -> None:
+        self.client = client
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.client._on_datagram(data)

@@ -1,0 +1,245 @@
+"""The asyncio transparent proxy.
+
+Clients connect to the proxy's TCP port and send one header line::
+
+    CONNECT <host> <port> <client-id> <control-port>\\n
+
+The proxy dials the origin server, relays the upstream direction
+immediately, and buffers the downstream direction into the client's
+queue. A scheduler task broadcasts a schedule datagram to every
+registered client's UDP control port each burst interval, then releases
+each client's buffered bytes at its rendezvous point, ending the burst
+with a mark datagram.
+
+This is the paper's §3.2 design with the kernel pieces (bridge, IPQ,
+TOS marking) replaced by the userspace substitutions listed in
+:mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.runtime.wire import RuntimeSchedule, RuntimeSlot, encode_mark
+
+#: Upper bound on one relayed read.
+CHUNK = 64 * 1024
+
+
+@dataclass
+class AsyncProxyConfig:
+    """Knobs of the live proxy."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, read back from .port
+    burst_interval_s: float = 0.1
+    #: Estimated drain rate used to size slots (bytes/second).
+    drain_rate_bps: float = 12_500_000.0
+    schedule_guard_s: float = 0.002
+    slot_gap_s: float = 0.001
+
+
+class _ClientState:
+    """Per-client registration and buffered downstream data."""
+
+    def __init__(self, client_id: str, control_addr: tuple[str, int]) -> None:
+        self.client_id = client_id
+        self.control_addr = control_addr
+        #: FIFO of (writer, bytes) chunks pending transmission.
+        self.queue: list[tuple[asyncio.StreamWriter, bytes]] = []
+        self.bytes_pending = 0
+        self.bytes_sent = 0
+        self.bursts = 0
+
+    def push(self, writer: asyncio.StreamWriter, data: bytes) -> None:
+        self.queue.append((writer, data))
+        self.bytes_pending += len(data)
+
+    def pop_all(self) -> list[tuple[asyncio.StreamWriter, bytes]]:
+        chunks, self.queue = self.queue, []
+        self.bytes_pending = 0
+        return chunks
+
+
+class AsyncProxy:
+    """The live scheduling proxy."""
+
+    def __init__(self, config: Optional[AsyncProxyConfig] = None) -> None:
+        self.config = config or AsyncProxyConfig()
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._clients: dict[str, _ClientState] = {}
+        self._control_socket: Optional[socket.socket] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._relay_tasks: set[asyncio.Task] = set()
+        self.schedules_sent = 0
+        self.connections_split = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the TCP listener and start the scheduler task."""
+        if self._server is not None:
+            raise ConfigurationError("proxy already started")
+        self._control_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._control_socket.setblocking(False)
+        self._server = await asyncio.start_server(
+            self._on_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+
+    async def stop(self) -> None:
+        """Tear everything down."""
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._relay_tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._control_socket is not None:
+            self._control_socket.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = header.decode().split()
+            if len(parts) != 5 or parts[0] != "CONNECT":
+                writer.close()
+                return
+            _, host, port, client_id, control_port = parts
+            state = self._clients.get(client_id)
+            if state is None:
+                state = _ClientState(
+                    client_id, (self.config.host, int(control_port))
+                )
+                self._clients[client_id] = state
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                host, int(port)
+            )
+        except (OSError, asyncio.TimeoutError, ValueError):
+            writer.close()
+            return
+        self.connections_split += 1
+        relay_up = asyncio.create_task(
+            self._relay_upstream(reader, upstream_writer)
+        )
+        relay_down = asyncio.create_task(
+            self._buffer_downstream(upstream_reader, writer, state)
+        )
+        for task in (relay_up, relay_down):
+            self._relay_tasks.add(task)
+            task.add_done_callback(self._relay_tasks.discard)
+
+    async def _relay_upstream(self, reader, upstream_writer) -> None:
+        """Client → server bytes flow immediately (requests are tiny)."""
+        try:
+            while True:
+                data = await reader.read(CHUNK)
+                if not data:
+                    break
+                upstream_writer.write(data)
+                await upstream_writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                upstream_writer.close()
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+
+    async def _buffer_downstream(self, upstream_reader, writer, state) -> None:
+        """Server → client bytes are buffered for the next burst."""
+        try:
+            while True:
+                data = await upstream_reader.read(CHUNK)
+                if not data:
+                    break
+                state.push(writer, data)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    # -- scheduling --------------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        loop = asyncio.get_running_loop()
+        seq = 0
+        interval = self.config.burst_interval_s
+        while True:
+            srp = loop.time()
+            schedule = self._build_schedule(seq, srp)
+            self._broadcast(schedule)
+            self.schedules_sent += 1
+            seq += 1
+            for slot in schedule.slots:
+                target = srp + slot.offset_s
+                delay = target - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                await self._burst(self._clients[slot.client_id], seq)
+            remaining = srp + interval - loop.time()
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+
+    def _build_schedule(self, seq: int, srp: float) -> RuntimeSchedule:
+        config = self.config
+        slots = []
+        cursor = config.schedule_guard_s
+        for client_id in sorted(self._clients):
+            state = self._clients[client_id]
+            if state.bytes_pending <= 0:
+                continue
+            duration = state.bytes_pending * 8.0 / config.drain_rate_bps
+            slots.append(
+                RuntimeSlot(
+                    client_id=client_id,
+                    offset_s=cursor,
+                    duration_s=duration,
+                    nbytes=state.bytes_pending,
+                )
+            )
+            cursor += duration + config.slot_gap_s
+        return RuntimeSchedule(
+            seq=seq, srp=srp, interval_s=config.burst_interval_s,
+            slots=tuple(slots),
+        )
+
+    def _broadcast(self, schedule: RuntimeSchedule) -> None:
+        payload = schedule.encode()
+        for state in self._clients.values():
+            try:
+                self._control_socket.sendto(payload, state.control_addr)
+            except OSError:  # pragma: no cover - transient socket issue
+                pass
+
+    async def _burst(self, state: _ClientState, seq: int) -> None:
+        chunks = state.pop_all()
+        for writer, data in chunks:
+            if writer.is_closing():
+                continue
+            writer.write(data)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                continue
+            state.bytes_sent += len(data)
+        state.bursts += 1
+        try:
+            self._control_socket.sendto(
+                encode_mark(state.client_id, seq), state.control_addr
+            )
+        except OSError:  # pragma: no cover
+            pass

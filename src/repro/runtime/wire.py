@@ -1,0 +1,102 @@
+"""Wire format for the runtime proxy's control datagrams.
+
+Schedules and burst-end marks travel as single JSON datagrams on each
+client's UDP control socket. Timestamps are the proxy's
+``loop.time()`` values; clients use only relative offsets, exactly like
+the simulated adaptive delay compensation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeSlot:
+    """One client's burst reservation, offsets relative to the SRP."""
+
+    client_id: str
+    offset_s: float
+    duration_s: float
+    nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeSchedule:
+    """A schedule datagram."""
+
+    seq: int
+    srp: float  # proxy clock
+    interval_s: float
+    slots: tuple[RuntimeSlot, ...] = ()
+
+    def slot_for(self, client_id: str) -> Optional[RuntimeSlot]:
+        """This client's reservation, or None."""
+        for slot in self.slots:
+            if slot.client_id == client_id:
+                return slot
+        return None
+
+    def encode(self) -> bytes:
+        """Serialize to a JSON datagram payload."""
+        return json.dumps(
+            {
+                "type": "schedule",
+                "seq": self.seq,
+                "srp": self.srp,
+                "interval_s": self.interval_s,
+                "slots": [
+                    {
+                        "client_id": s.client_id,
+                        "offset_s": s.offset_s,
+                        "duration_s": s.duration_s,
+                        "nbytes": s.nbytes,
+                    }
+                    for s in self.slots
+                ],
+            }
+        ).encode()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "RuntimeSchedule":
+        """Parse a schedule datagram; raises SchedulingError on garbage."""
+        try:
+            raw = json.loads(payload)
+            if raw.get("type") != "schedule":
+                raise SchedulingError(f"not a schedule datagram: {raw.get('type')}")
+            return cls(
+                seq=raw["seq"],
+                srp=raw["srp"],
+                interval_s=raw["interval_s"],
+                slots=tuple(
+                    RuntimeSlot(
+                        client_id=s["client_id"],
+                        offset_s=s["offset_s"],
+                        duration_s=s["duration_s"],
+                        nbytes=s["nbytes"],
+                    )
+                    for s in raw["slots"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchedulingError(f"malformed schedule datagram: {exc}") from exc
+
+
+def encode_mark(client_id: str, seq: int) -> bytes:
+    """The out-of-band end-of-burst mark (TOS-bit substitute)."""
+    return json.dumps({"type": "mark", "client_id": client_id, "seq": seq}).encode()
+
+
+def decode_control(payload: bytes) -> dict:
+    """Decode any control datagram (schedule or mark)."""
+    try:
+        raw = json.loads(payload)
+    except ValueError as exc:
+        raise SchedulingError(f"bad control datagram: {exc}") from exc
+    if "type" not in raw:
+        raise SchedulingError("control datagram missing type")
+    return raw

@@ -1,0 +1,269 @@
+"""Simulator event loop and primitive events.
+
+The kernel is intentionally small: a binary heap of ``(time, priority,
+seq, event)`` tuples and an :class:`Event` type with success/failure
+semantics. Processes (see :mod:`repro.sim.process`) are built on top of
+these primitives.
+
+Determinism: two events scheduled for the same instant fire in the order
+they were scheduled (the monotonically increasing ``seq`` breaks ties),
+so a simulation with fixed RNG seeds is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for urgent events (fire before NORMAL events at the same time).
+URGENT = 0
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once scheduled with a
+    value, and is *processed* after its callbacks have run. Callbacks are
+    plain callables receiving the event.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    #: Sentinel for "no value yet".
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is Event._PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=delay, priority=NORMAL)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires.
+
+    Value is a dict mapping the fired event(s) to their values (events
+    that fired at the same instant are all included).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        fired = {e: e.value for e in self._events if e.processed and e.ok}
+        self.succeed(fired)
+
+
+class AllOf(Event):
+    """Fires when all of ``events`` have fired successfully."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self._events})
+
+
+class Simulator:
+    """Discrete-event simulator with a heap-based event loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        if event._scheduled:
+            raise SimulationError("event is already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every one of ``events`` has fired."""
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Start a new process from a generator (see :class:`Process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def call_at(self, when: float, func: Callable[[], None]) -> Event:
+        """Run ``func()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self._now}"
+            )
+        event = self.timeout(when - self._now)
+        event.add_callback(lambda _e: func())
+        return event
+
+    # -- running --------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if none is pending."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises:
+            SimulationError: if no events are pending, or a process died
+                with an unhandled exception.
+        """
+        if not self._heap:
+            raise SimulationError("no scheduled events to step")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or ``until`` (exclusive of later events).
+
+        When ``until`` is given, simulated time is advanced to exactly
+        ``until`` even if no event falls on that instant.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        if until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until

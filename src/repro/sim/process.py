@@ -1,0 +1,100 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.core.Event`
+objects. When a yielded event fires, the process resumes with the event's
+value (or the event's exception is thrown into the generator, so failures
+propagate naturally and can be handled with ``try/except``).
+
+A :class:`Process` is itself an event: it fires with the generator's
+return value when the generator finishes, so processes can be joined by
+yielding them, composed with ``any_of``/``all_of``, and interrupted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ProcessError
+from repro.sim.core import Event, Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ProcessError(
+                f"Process needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current instant.
+        bootstrap = sim.event()
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a
+        process twice before it resumes is also an error.
+        """
+        if self.triggered:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.add_callback(self._resume)
+        self.sim._enqueue(interrupt_event, delay=0.0, priority=0)
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # process already finished (e.g. interrupt raced completion)
+        if self._waiting_on is not None and trigger is not self._waiting_on:
+            # A stale wakeup: after an interrupt the process may have moved
+            # on to waiting on another event, but the original one still
+            # fires. Only genuine interrupts may preempt the current wait.
+            is_interrupt = (not trigger.ok) and isinstance(trigger._value, Interrupt)
+            if not is_interrupt:
+                return
+        self._waiting_on = None
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            self.fail(ProcessError(f"process {self.name!r} died on interrupt: {exc}"))
+            return
+        except BaseException as exc:  # propagate real errors loudly
+            self.fail(exc)
+            raise
+        if not isinstance(target, Event):
+            raise ProcessError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)

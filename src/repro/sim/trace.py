@@ -1,0 +1,80 @@
+"""Structured tracing of simulation activity.
+
+Components record :class:`TraceRecord` rows into a shared
+:class:`TraceRecorder`; the energy analyzer and tests query those rows
+postmortem — the same "sniff now, analyze later" structure the paper's
+monitoring station used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """A single trace row.
+
+    Attributes:
+        time: simulated timestamp in seconds.
+        category: dotted event category, e.g. ``"wnic.transition"``.
+        fields: arbitrary structured payload.
+    """
+
+    time: float
+    category: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only container of trace records with simple querying."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, time: float, category: str, **fields: Any) -> TraceRecord:
+        """Append a record and return it."""
+        row = TraceRecord(time=time, category=category, fields=fields)
+        self._records.append(row)
+        return row
+
+    def all(self) -> tuple[TraceRecord, ...]:
+        """Every record in insertion (and therefore time) order."""
+        return tuple(self._records)
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching the given filters.
+
+        Args:
+            category: exact category, or a prefix ending in ``"."`` to
+                match a whole namespace, or None for all categories.
+            predicate: optional extra row filter.
+            since: inclusive lower time bound.
+            until: exclusive upper time bound.
+        """
+        for row in self._records:
+            if not since <= row.time < until:
+                continue
+            if category is not None:
+                if category.endswith("."):
+                    if not row.category.startswith(category):
+                        continue
+                elif row.category != category:
+                    continue
+            if predicate is not None and not predicate(row):
+                continue
+            yield row
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of records matching ``category`` (same rules as query)."""
+        return sum(1 for _ in self.query(category=category))

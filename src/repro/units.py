@@ -1,0 +1,106 @@
+"""Unit helpers and physical constants used throughout the library.
+
+The simulator's time unit is the **second** (a plain float). Data sizes
+are **bytes** (ints), and rates are **bits per second** (floats). These
+helpers keep literals in the code readable and make unit mistakes
+grep-able: writing ``ms(100)`` is harder to get wrong than ``0.1``.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Time
+# --------------------------------------------------------------------------
+
+
+def ms(value: float) -> float:
+    """Milliseconds expressed in seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Microseconds expressed in seconds."""
+    return value * 1e-6
+
+
+def seconds(value: float) -> float:
+    """Identity helper for symmetry; seconds are the native unit."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Minutes expressed in seconds."""
+    return value * 60.0
+
+
+# --------------------------------------------------------------------------
+# Data sizes
+# --------------------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def kib(value: float) -> int:
+    """Kibibytes expressed in bytes (rounded)."""
+    return int(value * KB)
+
+
+def mib(value: float) -> int:
+    """Mebibytes expressed in bytes (rounded)."""
+    return int(value * MB)
+
+
+# --------------------------------------------------------------------------
+# Rates
+# --------------------------------------------------------------------------
+
+
+def bps(value: float) -> float:
+    """Bits per second (identity helper)."""
+    return float(value)
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second expressed in bits per second.
+
+    Network rates use decimal prefixes (1 kbps = 1000 bit/s), matching
+    how the paper quotes stream bitrates (56 kbps, 512 kbps, ...).
+    """
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Megabits per second expressed in bits per second."""
+    return value * 1e6
+
+
+def bytes_per_second(rate_bps: float) -> float:
+    """Convert a bit rate into a byte rate."""
+    return rate_bps / 8.0
+
+
+def transmit_time(size_bytes: int, rate_bps: float) -> float:
+    """Serialization delay of ``size_bytes`` at ``rate_bps``.
+
+    Raises:
+        ValueError: if the rate is not positive.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+    return (size_bytes * 8.0) / rate_bps
+
+
+# --------------------------------------------------------------------------
+# Energy
+# --------------------------------------------------------------------------
+
+
+def mj(value: float) -> float:
+    """Millijoules expressed in joules."""
+    return value * 1e-3
+
+
+def joules(value: float) -> float:
+    """Identity helper; joules are the native energy unit."""
+    return float(value)

@@ -1,0 +1,16 @@
+"""Wireless NIC power behaviour.
+
+The paper's client daemon transitions an Orinoco WNIC between a
+low-power *sleep* mode and the high-power *idle/receive/transmit* modes.
+:class:`~repro.wnic.states.Wnic` is that card: a two-macro-state machine
+(asleep / awake) with a logged transition history; receive/transmit
+residency is attributed postmortem by the energy analyzer from the
+monitoring station's capture, exactly as the paper's trace simulator
+does. :mod:`~repro.wnic.power` holds the WaveLAN power constants, and
+:mod:`~repro.wnic.psm` provides an 802.11b power-save-mode baseline.
+"""
+
+from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
+from repro.wnic.states import Wnic, WnicState
+
+__all__ = ["PowerModel", "WAVELAN_2_4GHZ", "Wnic", "WnicState"]

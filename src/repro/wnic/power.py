@@ -1,0 +1,64 @@
+"""WNIC power constants.
+
+The paper simulates a 2.4 GHz WaveLAN DSSS card: 1319 mJ/s idle,
+1425 mJ/s receiving, 1675 mJ/s transmitting, 177 mJ/s sleeping
+(Stemm et al. 1996; Havinga 2000), and charges each sleep→idle
+transition 2 ms of idle time (Krashinsky & Balakrishnan 2002).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class PowerModel:
+    """Card power draw in watts (J/s) per mode, plus the wake penalty."""
+
+    idle_w: float
+    receive_w: float
+    transmit_w: float
+    sleep_w: float
+    wake_penalty_s: float = 0.002  # charged at idle power per wake
+
+    def __post_init__(self) -> None:
+        if min(self.idle_w, self.receive_w, self.transmit_w, self.sleep_w) <= 0:
+            raise ConfigurationError("power draws must be positive")
+        if self.sleep_w >= self.idle_w:
+            raise ConfigurationError("sleep power must be below idle power")
+        if self.wake_penalty_s < 0:
+            raise ConfigurationError("wake penalty cannot be negative")
+
+    @property
+    def wake_penalty_j(self) -> float:
+        """Energy charged per sleep→idle transition."""
+        return self.wake_penalty_s * self.idle_w
+
+    def energy(
+        self,
+        sleep_s: float,
+        idle_s: float,
+        receive_s: float,
+        transmit_s: float,
+        wake_count: int = 0,
+    ) -> float:
+        """Total energy in joules for the given mode residencies."""
+        return (
+            sleep_s * self.sleep_w
+            + idle_s * self.idle_w
+            + receive_s * self.receive_w
+            + transmit_s * self.transmit_w
+            + wake_count * self.wake_penalty_j
+        )
+
+
+#: The card the paper simulates (values quoted in mJ/s → watts).
+WAVELAN_2_4GHZ = PowerModel(
+    idle_w=1.319,
+    receive_w=1.425,
+    transmit_w=1.675,
+    sleep_w=0.177,
+    wake_penalty_s=0.002,
+)

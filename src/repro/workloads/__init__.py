@@ -1,0 +1,30 @@
+"""Workload generators reproducing the paper's client activity (§4.1).
+
+* :mod:`~repro.workloads.video` — unicast VBR video streams with the
+  paper's effective bitrates (34/80/225/450 kbps for nominal
+  56/128/256/512 kbps) and RealServer-style loss adaptation;
+* :mod:`~repro.workloads.web` — scripted web browsing generating
+  multiple concurrent TCP streams per client;
+* :mod:`~repro.workloads.ftp` — bulk TCP downloads.
+"""
+
+from repro.workloads.ftp import FtpClientApp, FtpServerApp
+from repro.workloads.video import (
+    EFFECTIVE_BITRATE_BPS,
+    VideoClientApp,
+    VideoServerApp,
+    VideoStreamConfig,
+)
+from repro.workloads.web import WebClientApp, WebServerApp, WebScript
+
+__all__ = [
+    "EFFECTIVE_BITRATE_BPS",
+    "FtpClientApp",
+    "FtpServerApp",
+    "VideoClientApp",
+    "VideoServerApp",
+    "VideoStreamConfig",
+    "WebClientApp",
+    "WebScript",
+    "WebServerApp",
+]

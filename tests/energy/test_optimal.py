@@ -1,0 +1,77 @@
+"""Unit tests for the theoretical-optimal formula (paper §4.3)."""
+
+import pytest
+
+from repro.energy.optimal import (
+    naive_energy_j,
+    optimal_energy_j,
+    optimal_energy_saved_pct,
+    receive_time_s,
+)
+from repro.errors import ConfigurationError
+from repro.units import kbps, mbps
+from repro.wnic.power import WAVELAN_2_4GHZ
+
+#: The paper's trailer: 1:59 at the listed *effective* bitrates.
+TRAILER_S = 119.0
+EFFECTIVE_BITRATE = {56: kbps(34), 256: kbps(225), 512: kbps(450)}
+
+
+def stream_bytes(nominal_kbps):
+    return int(EFFECTIVE_BITRATE[nominal_kbps] * TRAILER_S / 8)
+
+
+class TestReceiveTime:
+    def test_basic(self):
+        assert receive_time_s(1_000_000, mbps(8)) == pytest.approx(1.0)
+
+    def test_zero_bytes(self):
+        assert receive_time_s(0, mbps(1)) == 0.0
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            receive_time_s(100, 0.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            receive_time_s(-1, mbps(1))
+
+
+class TestOptimalFormula:
+    def test_stream_too_big_for_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_energy_j(10**9, 1.0, mbps(1), WAVELAN_2_4GHZ)
+
+    def test_savings_decrease_with_fidelity(self):
+        """Paper: optimal is 90% / 83% / 77% for 56K / 256K / 512K."""
+        saved = {
+            rate: optimal_energy_saved_pct(
+                stream_bytes(rate), TRAILER_S, mbps(4.5), WAVELAN_2_4GHZ
+            )
+            for rate in (56, 256, 512)
+        }
+        assert saved[56] > saved[256] > saved[512]
+
+    def test_magnitudes_match_paper_shape(self):
+        """Within a few points of the paper's 90/83/77."""
+        expected = {56: 90.0, 256: 83.0, 512: 77.0}
+        for rate, paper_value in expected.items():
+            ours = optimal_energy_saved_pct(
+                stream_bytes(rate), TRAILER_S, mbps(4.5), WAVELAN_2_4GHZ
+            )
+            assert ours == pytest.approx(paper_value, abs=6.0)
+
+    def test_zero_byte_stream_saves_maximum(self):
+        saved = optimal_energy_saved_pct(0, 100.0, mbps(4), WAVELAN_2_4GHZ)
+        ratio = WAVELAN_2_4GHZ.sleep_w / WAVELAN_2_4GHZ.idle_w
+        assert saved == pytest.approx(100.0 * (1 - ratio))
+
+    def test_optimal_below_naive(self):
+        for rate in (56, 256, 512):
+            optimal = optimal_energy_j(
+                stream_bytes(rate), TRAILER_S, mbps(4.5), WAVELAN_2_4GHZ
+            )
+            naive = naive_energy_j(
+                stream_bytes(rate), TRAILER_S, mbps(4.5), WAVELAN_2_4GHZ
+            )
+            assert optimal < naive

@@ -1,0 +1,61 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import json
+
+import pytest
+
+from repro.experiments.report_gen import generate_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "figure4.json").write_text(
+        json.dumps(
+            [
+                {
+                    "figure": "4", "interval": "500ms", "pattern": "56K",
+                    "avg_saved_pct": 81.6, "min_saved_pct": 81.3,
+                    "max_saved_pct": 81.9, "avg_loss_pct": 0.0,
+                    "max_loss_pct": 0.0, "downshifts": 0,
+                }
+            ]
+        )
+    )
+    (tmp_path / "memory_footprint.json").write_text(
+        json.dumps(
+            {
+                "experiment": "memory-footprint",
+                "peak_buffer_bytes": 400000,
+                "claimed_bound_bytes": 524288,
+                "within_claim": True,
+            }
+        )
+    )
+    return tmp_path
+
+
+def test_report_contains_present_sections(results_dir):
+    text = generate_report(results_dir)
+    assert "Figure 4" in text
+    assert "81.6" in text
+    assert "proxy memory" in text
+    # absent results produce no section
+    assert "Figure 6" not in text
+
+
+def test_report_handles_empty_dir(tmp_path):
+    text = generate_report(tmp_path)
+    assert "EXPERIMENTS" in text
+
+
+def test_write_report(results_dir, tmp_path):
+    out = write_report(results_dir=results_dir, output=tmp_path / "EXP.md")
+    assert out.exists()
+    assert "Figure 4" in out.read_text()
+
+
+def test_markdown_tables_well_formed(results_dir):
+    text = generate_report(results_dir)
+    for line in text.splitlines():
+        if line.startswith("|"):
+            assert line.endswith("|")

@@ -1,0 +1,72 @@
+"""Unit tests for the scenario builder."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    ScenarioConfig,
+    VIDEO_SERVER_IP,
+    build_scenario,
+    client_ip,
+)
+from repro.net.addr import Endpoint
+from repro.net.udp import UdpSocket
+
+
+class TestBuildScenario:
+    def test_default_shape(self):
+        scenario = build_scenario(ScenarioConfig(n_clients=3, seed=0))
+        assert len(scenario.clients) == 3
+        assert scenario.proxy.client_ips == {client_ip(i) for i in range(3)}
+        assert len(scenario.servers) == 3
+        assert scenario.monitor.wireless.promiscuous
+
+    def test_end_to_end_wiring_server_to_client(self):
+        """A UDP datagram can cross servers->proxy->AP->client (when the
+        proxy is not intercepting that port... it intercepts all client-
+        bound udp, so verify it lands in the proxy queue)."""
+        scenario = build_scenario(ScenarioConfig(n_clients=1, seed=0))
+        UdpSocket(scenario.video_server, 30000).sendto(
+            123, Endpoint(client_ip(0), 5004)
+        )
+        scenario.sim.run(until=0.5)
+        assert scenario.proxy.queue_for(client_ip(0)).bytes_pending == 123
+
+    def test_client_to_server_path(self):
+        scenario = build_scenario(ScenarioConfig(n_clients=1, seed=0))
+        received = []
+        UdpSocket(
+            scenario.video_server, 31000,
+            on_receive=lambda p: received.append(p.payload_size),
+        )
+        UdpSocket(scenario.clients[0].node, 6000).sendto(
+            77, Endpoint(VIDEO_SERVER_IP, 31000)
+        )
+        scenario.sim.run(until=0.5)
+        assert received == [77]
+
+    def test_determinism(self):
+        def run(seed):
+            scenario = build_scenario(ScenarioConfig(n_clients=2, seed=seed))
+            UdpSocket(scenario.video_server, 30000).sendto(
+                100, Endpoint(client_ip(0), 5004)
+            )
+            scenario.sim.run(until=1.0)
+            return [
+                (f.start, f.end, f.dst_ip) for f in scenario.monitor.frames
+            ]
+
+        assert run(5) == run(5)
+
+    def test_different_seed_changes_timing(self):
+        def run(seed):
+            scenario = build_scenario(ScenarioConfig(n_clients=1, seed=seed))
+            sock = UdpSocket(scenario.video_server, 30000)
+            # several packets so jitter draws differ
+            for i in range(5):
+                sock.sendto(100, Endpoint(client_ip(0), 5004))
+            scenario.sim.run(until=1.0)
+            # packets are buffered; look at wired arrival time via trace
+            return scenario.proxy.queue_for(client_ip(0)).total_enqueued_bytes
+
+        # volume identical regardless of seed (determinism of workload)
+        assert run(1) == run(2)

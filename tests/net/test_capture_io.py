@@ -1,0 +1,96 @@
+"""Tests for capture persistence."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.net.capture_io import load_capture, save_capture
+from repro.net.sniffer import FrameRecord
+
+
+def frame(start=0.0, schedule_meta=None, marked=False):
+    return FrameRecord(
+        start=start, end=start + 0.002, src_ip="10.0.0.254", src_port=9797,
+        dst_ip="10.0.1.1", dst_port=5004, proto="udp", wire_size=762,
+        payload_size=700, tos_marked=marked, broadcast=schedule_meta is not None,
+        packet_id=7, sender="ap", schedule_meta=schedule_meta,
+    )
+
+
+class TestCaptureIO:
+    def test_round_trip(self, tmp_path):
+        frames = [
+            frame(0.0),
+            frame(0.1, marked=True),
+            frame(
+                0.2,
+                schedule_meta={"schedule": {"seq": 1, "srp": 0.2,
+                                            "next_srp": 0.3, "slots": []}},
+            ),
+        ]
+        path = save_capture(frames, tmp_path / "capture.jsonl")
+        loaded = load_capture(path)
+        assert loaded == frames
+
+    def test_empty_capture_round_trip(self, tmp_path):
+        path = save_capture([], tmp_path / "empty.jsonl")
+        assert load_capture(path) == []
+
+    def test_rejects_non_capture_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            load_capture(path)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"format": "pcap"}\n')
+        with pytest.raises(TraceError):
+            load_capture(path)
+
+    def test_rejects_corrupt_record(self, tmp_path):
+        path = save_capture([frame()], tmp_path / "c.jsonl")
+        with path.open("a") as handle:
+            handle.write('{"nonsense": true}\n')
+        with pytest.raises(TraceError):
+            load_capture(path)
+
+    def test_loaded_capture_feeds_replay(self, tmp_path):
+        """End-to-end: simulate, save, load, replay."""
+        from repro.core.bandwidth_model import calibrate
+        from repro.core.client import PowerAwareClient
+        from repro.core.delay_comp import AdaptiveCompensator
+        from repro.core.scheduler import DynamicScheduler
+        from repro.energy.replay import replay_policy
+        from repro.experiments.scenarios import (
+            ScenarioConfig, build_scenario, client_ip,
+        )
+        from repro.net.addr import Endpoint
+        from repro.net.udp import UdpSocket
+        from repro.wnic.power import WAVELAN_2_4GHZ
+
+        scenario = build_scenario(ScenarioConfig(n_clients=1, seed=41))
+        scheduler = DynamicScheduler(
+            scenario.proxy, calibrate(scenario.medium), interval_s=0.1
+        )
+        scenario.proxy.attach_scheduler(scheduler)
+        scenario.proxy.start()
+        handle = scenario.clients[0]
+        handle.daemon = PowerAwareClient(handle.node, handle.wnic)
+        UdpSocket(handle.node, 5004)
+        sender = UdpSocket(scenario.video_server, 25000)
+
+        def feed():
+            while scenario.sim.now < 3.0:
+                sender.sendto(700, Endpoint(client_ip(0), 5004))
+                yield scenario.sim.timeout(0.05)
+
+        scenario.sim.process(feed())
+        scenario.sim.run(until=3.5)
+
+        path = save_capture(scenario.monitor.frames, tmp_path / "run.jsonl")
+        loaded = load_capture(path)
+        result = replay_policy(
+            loaded, client_ip(0), AdaptiveCompensator(), WAVELAN_2_4GHZ
+        )
+        assert result.schedules_heard > 20
+        assert result.report.energy_saved_pct > 40.0

@@ -1,0 +1,113 @@
+"""Unit tests for point-to-point links."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addr import Endpoint
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.udp import UdpSocket
+from repro.sim import Simulator
+from repro.units import mbps, ms, transmit_time
+
+from tests.net.helpers import wire_pair
+
+
+def test_rejects_nonpositive_rate():
+    with pytest.raises(NetworkError):
+        Link(Simulator(), rate_bps=0)
+
+
+def test_rejects_negative_latency():
+    with pytest.raises(NetworkError):
+        Link(Simulator(), rate_bps=1e6, latency=-1.0)
+
+
+def test_double_attach_rejected():
+    sim, a, b, link = wire_pair()
+    with pytest.raises(NetworkError):
+        link.attach(a.interfaces["eth0"], b.interfaces["eth0"])
+
+
+def test_transmit_from_foreign_interface_rejected():
+    sim, a, b, link = wire_pair()
+    stranger = Node(sim, "x", "10.9.9.9").add_interface("eth0")
+    packet = Packet("udp", Endpoint("10.9.9.9", 1), Endpoint("10.0.0.1", 2))
+    with pytest.raises(NetworkError):
+        link.transmit(stranger, packet)
+
+
+def test_delivery_time_is_serialization_plus_latency():
+    sim, a, b, link = wire_pair(rate=mbps(10), latency=ms(1))
+    received = []
+    UdpSocket(b, 7000, on_receive=lambda p: received.append(sim.now))
+    sender = UdpSocket(a, 5000)
+    packet = sender.sendto(1000, Endpoint("10.0.0.2", 7000))
+    sim.run()
+    expected = transmit_time(packet.wire_size, mbps(10)) + ms(1)
+    assert received == [pytest.approx(expected)]
+
+
+def test_fifo_ordering_per_direction():
+    sim, a, b, _link = wire_pair()
+    order = []
+    UdpSocket(b, 7000, on_receive=lambda p: order.append(p.seq))
+    sender = UdpSocket(a, 5000)
+    for seq in range(5):
+        sender.sendto(1200, Endpoint("10.0.0.2", 7000), seq=seq)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_serialization_delays_accumulate_under_load():
+    sim, a, b, _link = wire_pair(rate=mbps(1), latency=0.0)
+    times = []
+    UdpSocket(b, 7000, on_receive=lambda p: times.append(sim.now))
+    sender = UdpSocket(a, 5000)
+    for seq in range(3):
+        sender.sendto(1000, Endpoint("10.0.0.2", 7000), seq=seq)
+    sim.run()
+    per_packet = transmit_time(1000 + 62, mbps(1))
+    assert times == pytest.approx([per_packet, 2 * per_packet, 3 * per_packet])
+
+
+def test_full_duplex_directions_independent():
+    sim, a, b, _link = wire_pair(rate=mbps(1), latency=0.0)
+    arrivals = {}
+    UdpSocket(b, 7000, on_receive=lambda p: arrivals.setdefault("b", sim.now))
+    UdpSocket(a, 7000, on_receive=lambda p: arrivals.setdefault("a", sim.now))
+    UdpSocket(a, 5000).sendto(1000, Endpoint("10.0.0.2", 7000))
+    UdpSocket(b, 5001).sendto(1000, Endpoint("10.0.0.1", 7000))
+    sim.run()
+    # Both directions deliver at the single-packet serialization time.
+    assert arrivals["a"] == pytest.approx(arrivals["b"])
+
+
+def test_drop_hook_discards_packets():
+    dropped_every_other = {"count": 0}
+
+    def drop(packet):
+        dropped_every_other["count"] += 1
+        return dropped_every_other["count"] % 2 == 0
+
+    sim, a, b, link = wire_pair(drop=drop)
+    received = []
+    UdpSocket(b, 7000, on_receive=lambda p: received.append(p.seq))
+    sender = UdpSocket(a, 5000)
+    for seq in range(6):
+        sender.sendto(100, Endpoint("10.0.0.2", 7000), seq=seq)
+    sim.run()
+    assert received == [0, 2, 4]
+    assert link.packets_dropped == 3
+    assert link.packets_delivered == 3
+
+
+def test_jitter_hook_adds_delay():
+    sim, a, b, _link = wire_pair(rate=mbps(100), latency=0.0, jitter=lambda p: ms(5))
+    times = []
+    UdpSocket(b, 7000, on_receive=lambda p: times.append(sim.now))
+    packet = UdpSocket(a, 5000).sendto(100, Endpoint("10.0.0.2", 7000))
+    sim.run()
+    expected = transmit_time(packet.wire_size, mbps(100)) + ms(5)
+    assert times == [pytest.approx(expected)]

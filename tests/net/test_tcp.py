@@ -1,0 +1,317 @@
+"""Unit tests for the simplified TCP implementation."""
+
+import pytest
+
+from repro.errors import SocketError
+from repro.net.addr import Endpoint
+from repro.net.packet import MSS, TcpFlags
+from repro.net.tcp import (
+    CLOSED,
+    ESTABLISHED,
+    TcpConnection,
+    TcpListener,
+)
+from repro.net.udp import UdpSocket
+from repro.sim import Simulator
+from repro.units import mbps, ms
+
+from tests.net.helpers import wire_pair
+
+
+def make_server(node, port=80, response_bytes=0):
+    """A listener that optionally sends ``response_bytes`` then closes."""
+    accepted = []
+
+    def on_accept(conn):
+        accepted.append(conn)
+        if response_bytes:
+            def on_established(c):
+                c.send(response_bytes)
+                c.close()
+            conn.on_established = on_established
+
+    TcpListener(node, port, on_accept)
+    return accepted
+
+
+class TestHandshake:
+    def test_three_way_handshake_establishes_both_ends(self):
+        sim, a, b, _ = wire_pair()
+        accepted = make_server(b)
+        established = []
+        client = TcpConnection.connect(
+            a, Endpoint("10.0.0.2", 80),
+            on_established=lambda c: established.append(sim.now),
+        )
+        sim.run()
+        assert client.state == ESTABLISHED
+        assert len(accepted) == 1
+        assert accepted[0].state == ESTABLISHED
+        assert established and established[0] > 0
+
+    def test_lost_syn_is_retransmitted(self):
+        state = {"dropped": False}
+
+        def drop_first_syn(packet):
+            if (
+                packet.proto == "tcp"
+                and TcpFlags.SYN in packet.flags
+                and TcpFlags.ACK not in packet.flags
+                and not state["dropped"]
+            ):
+                state["dropped"] = True
+                return True
+            return False
+
+        sim, a, b, _ = wire_pair(drop=drop_first_syn)
+        make_server(b)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=10.0)
+        assert client.state == ESTABLISHED
+        assert state["dropped"]
+
+    def test_lost_syn_ack_recovers(self):
+        state = {"dropped": False}
+
+        def drop_first_synack(packet):
+            if (
+                packet.proto == "tcp"
+                and TcpFlags.SYN in packet.flags
+                and TcpFlags.ACK in packet.flags
+                and not state["dropped"]
+            ):
+                state["dropped"] = True
+                return True
+            return False
+
+        sim, a, b, _ = wire_pair(drop=drop_first_synack)
+        accepted = make_server(b)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=10.0)
+        assert client.state == ESTABLISHED
+        assert accepted[0].state == ESTABLISHED
+
+
+class TestDataTransfer:
+    def test_small_transfer_delivers_exact_bytes(self):
+        sim, a, b, _ = wire_pair()
+        make_server(b, response_bytes=10_000)
+        delivered = []
+        client = TcpConnection.connect(
+            a, Endpoint("10.0.0.2", 80),
+            on_data=lambda n, p: delivered.append(n),
+        )
+        sim.run(until=30.0)
+        assert sum(delivered) == 10_000
+        assert client.bytes_delivered == 10_000
+
+    def test_large_transfer_is_segmented_at_mss(self):
+        sim, a, b, _ = wire_pair()
+        sizes = []
+        make_server(b, response_bytes=100_000)
+        a_tap_added = a.taps.append(
+            lambda p, i: (
+                sizes.append(p.payload_size) if p.payload_size > 0 else None,
+                False,
+            )[1]
+        )
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=30.0)
+        assert client.bytes_delivered == 100_000
+        assert max(sizes) == MSS
+
+    def test_client_to_server_direction(self):
+        sim, a, b, _ = wire_pair()
+        received = []
+        accepted = []
+
+        def on_accept(conn):
+            conn.on_data = lambda n, p: received.append(n)
+            accepted.append(conn)
+
+        TcpListener(b, 80, on_accept)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.call_at(1.0, lambda: client.send(5000))
+        sim.run(until=30.0)
+        assert sum(received) == 5000
+
+    def test_send_before_establishment_is_buffered(self):
+        sim, a, b, _ = wire_pair()
+        make_server(b)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        client.send(3000)  # connection still in SYN_SENT
+        received = []
+        # peek server-side delivery via its connection's counters
+        sim.run(until=30.0)
+        server_conn = next(iter(b.tcp_connections.values()), None)
+        assert server_conn is not None
+        assert server_conn.bytes_delivered == 3000
+
+    def test_throughput_limited_by_window_and_rtt(self):
+        """With a 64 KB window and a long RTT, goodput ~ rwnd / RTT."""
+        sim, a, b, _ = wire_pair(rate=mbps(100), latency=ms(50))
+        make_server(b, response_bytes=2_000_000)
+        done = []
+        client = TcpConnection.connect(
+            a, Endpoint("10.0.0.2", 80),
+            on_close=lambda c: done.append(sim.now),
+        )
+        sim.run(until=60.0)
+        assert client.bytes_delivered == 2_000_000
+        # rwnd/RTT = 64KB / 0.1s ≈ 655 KB/s -> 2 MB needs ≥ ~3 s.
+        assert done[0] > 2.5
+
+
+class TestLossRecovery:
+    def test_single_data_loss_recovers_fast(self):
+        state = {"dropped": False}
+
+        def drop_one_segment(packet):
+            if (
+                packet.proto == "tcp"
+                and packet.payload_size > 0
+                and packet.seq > 3000
+                and not state["dropped"]
+            ):
+                state["dropped"] = True
+                return True
+            return False
+
+        sim, a, b, _ = wire_pair(drop=drop_one_segment)
+        make_server(b, response_bytes=60_000)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=30.0)
+        assert state["dropped"]
+        assert client.bytes_delivered == 60_000
+
+    def test_random_loss_still_delivers_everything(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+
+        def lossy(packet):
+            return packet.payload_size > 0 and rng.random() < 0.05
+
+        sim, a, b, _ = wire_pair(drop=lossy)
+        make_server(b, response_bytes=200_000)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=120.0)
+        assert client.bytes_delivered == 200_000
+
+    def test_loss_increases_transfer_time(self):
+        def run(drop):
+            sim, a, b, _ = wire_pair(rate=mbps(4), latency=ms(1), drop=drop)
+            make_server(b, response_bytes=500_000)
+            finished = []
+            TcpConnection.connect(
+                a, Endpoint("10.0.0.2", 80),
+                on_close=lambda c: finished.append(sim.now),
+            )
+            sim.run(until=300.0)
+            return finished[0]
+
+        clean = run(None)
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        lossy = run(lambda p: p.payload_size > 0 and rng.random() < 0.05)
+        assert lossy > clean
+
+    def test_retransmission_counters(self):
+        state = {"dropped": 0}
+
+        def drop_some(packet):
+            if packet.proto == "tcp" and packet.payload_size > 0:
+                if packet.seq in (1, MSS + 1) and state["dropped"] < 2:
+                    state["dropped"] += 1
+                    return True
+            return False
+
+        sim, a, b, _ = wire_pair(drop=drop_some)
+        make_server(b, response_bytes=30_000)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=60.0)
+        server_conn = next(iter(b.tcp_connections.values()), None)
+        # server may have deregistered after close; counters checked on client
+        assert client.bytes_delivered == 30_000
+        assert state["dropped"] == 2
+
+
+class TestClose:
+    def test_fin_exchange_closes_both_sides(self):
+        sim, a, b, _ = wire_pair()
+        make_server(b, response_bytes=1000)
+        closed = []
+        client = TcpConnection.connect(
+            a, Endpoint("10.0.0.2", 80),
+            on_close=lambda c: closed.append("client"),
+        )
+        sim.run(until=30.0)
+        assert "client" in closed
+        # client responds with its own close
+        client.close()
+        sim.run(until=60.0)
+        assert client.state == CLOSED
+        assert b.tcp_connections == {}
+
+    def test_send_after_close_raises(self):
+        sim, a, b, _ = wire_pair()
+        make_server(b)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=5.0)
+        client.close()
+        with pytest.raises(SocketError):
+            client.send(10)
+
+    def test_abort_unregisters(self):
+        sim, a, b, _ = wire_pair()
+        make_server(b)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=5.0)
+        client.abort()
+        assert (client.local, client.remote) not in a.tcp_connections
+
+
+class TestSpoofing:
+    def test_spoofed_local_endpoint_on_connect(self):
+        """The proxy connects to the server *as the client*."""
+        sim, a, b, _ = wire_pair()
+        sources = []
+        b.taps.append(
+            lambda p, i: (sources.append(p.src.ip), False)[1]
+        )
+        make_server(b, response_bytes=100)
+        conn = TcpConnection.connect(
+            a, Endpoint("10.0.0.2", 80), local_ip="172.16.0.5"
+        )
+        # "a" needs to accept packets addressed to the spoofed ip
+        a.taps.append(lambda p, i: a.try_dispatch(p))
+        sim.run(until=10.0)
+        assert set(sources) == {"172.16.0.5"}
+        assert conn.bytes_delivered == 100
+
+
+class TestRttEstimation:
+    def test_transfer_completes_over_high_latency_path(self):
+        sim, a, b, _ = wire_pair(rate=mbps(100), latency=ms(20))
+        make_server(b, response_bytes=200_000)
+        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=60.0)
+        assert client.bytes_delivered == 200_000
+
+    def test_rto_backoff_grows_on_repeated_loss(self):
+        attempts = []
+
+        def drop_all_syns(packet):
+            if TcpFlags.SYN in packet.flags and TcpFlags.ACK not in packet.flags:
+                attempts.append(packet.created_at)
+                return True
+            return False
+
+        sim, a, b, _ = wire_pair(drop=drop_all_syns)
+        make_server(b)
+        TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+        sim.run(until=40.0)
+        assert len(attempts) >= 4
+        gaps = [y - x for x, y in zip(attempts, attempts[1:])]
+        assert all(b2 >= b1 * 1.5 for b1, b2 in zip(gaps, gaps[1:]))

@@ -1,0 +1,63 @@
+"""Property-based tests for TCP: reliable in-order delivery under loss."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import Endpoint
+from repro.net.tcp import TcpConnection, TcpListener
+
+from tests.net.helpers import wire_pair
+
+
+@given(
+    total_bytes=st.integers(min_value=1, max_value=300_000),
+    loss_rate=st.floats(min_value=0.0, max_value=0.15),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_tcp_delivers_exact_byte_count_under_loss(total_bytes, loss_rate, seed):
+    rng = np.random.default_rng(seed)
+
+    def lossy(packet):
+        return bool(rng.random() < loss_rate)
+
+    sim, a, b, _ = wire_pair(drop=lossy if loss_rate > 0 else None)
+
+    def on_accept(conn):
+        def on_established(c):
+            c.send(total_bytes)
+            c.close()
+
+        conn.on_established = on_established
+
+    TcpListener(b, 80, on_accept)
+    client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+    sim.run(until=600.0)
+    assert client.bytes_delivered == total_bytes
+
+
+@given(
+    chunks=st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=20),
+)
+@settings(max_examples=25, deadline=None)
+def test_tcp_delivery_is_cumulative_and_monotone(chunks):
+    sim, a, b, _ = wire_pair()
+    deliveries = []
+
+    def on_accept(conn):
+        conn.on_data = lambda n, p: deliveries.append(n)
+
+    TcpListener(b, 80, on_accept)
+    client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+
+    def sender():
+        yield sim.timeout(0.5)
+        for chunk in chunks:
+            client.send(chunk)
+            yield sim.timeout(0.01)
+
+    sim.process(sender())
+    sim.run(until=120.0)
+    assert sum(deliveries) == sum(chunks)
+    assert all(n > 0 for n in deliveries)

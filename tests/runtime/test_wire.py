@@ -1,0 +1,56 @@
+"""Unit tests for the runtime wire format."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.runtime.wire import (
+    RuntimeSchedule,
+    RuntimeSlot,
+    decode_control,
+    encode_mark,
+)
+
+
+def make_schedule():
+    return RuntimeSchedule(
+        seq=3,
+        srp=123.456,
+        interval_s=0.1,
+        slots=(
+            RuntimeSlot("client-0", 0.002, 0.02, 4096),
+            RuntimeSlot("client-1", 0.023, 0.03, 8192),
+        ),
+    )
+
+
+class TestRuntimeSchedule:
+    def test_encode_decode_round_trip(self):
+        schedule = make_schedule()
+        assert RuntimeSchedule.decode(schedule.encode()) == schedule
+
+    def test_slot_for(self):
+        schedule = make_schedule()
+        assert schedule.slot_for("client-1").nbytes == 8192
+        assert schedule.slot_for("client-9") is None
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(SchedulingError):
+            RuntimeSchedule.decode(b"not json at all {")
+
+    def test_decode_rejects_wrong_type(self):
+        with pytest.raises(SchedulingError):
+            RuntimeSchedule.decode(encode_mark("c", 1))
+
+
+class TestControlDatagrams:
+    def test_mark_round_trip(self):
+        raw = decode_control(encode_mark("client-7", 42))
+        assert raw == {"type": "mark", "client_id": "client-7", "seq": 42}
+
+    def test_decode_control_requires_type(self):
+        with pytest.raises(SchedulingError):
+            decode_control(b"{}")
+
+    def test_decode_control_rejects_garbage(self):
+        with pytest.raises(SchedulingError):
+            decode_control(b"\xff\xfe")

@@ -1,0 +1,52 @@
+"""Unit tests for the power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
+
+
+class TestPowerModel:
+    def test_paper_constants(self):
+        """The exact WaveLAN values from §4.1 of the paper."""
+        assert WAVELAN_2_4GHZ.idle_w == pytest.approx(1.319)
+        assert WAVELAN_2_4GHZ.receive_w == pytest.approx(1.425)
+        assert WAVELAN_2_4GHZ.transmit_w == pytest.approx(1.675)
+        assert WAVELAN_2_4GHZ.sleep_w == pytest.approx(0.177)
+        assert WAVELAN_2_4GHZ.wake_penalty_s == pytest.approx(0.002)
+
+    def test_sleep_order_of_magnitude_below_idle(self):
+        ratio = WAVELAN_2_4GHZ.idle_w / WAVELAN_2_4GHZ.sleep_w
+        assert ratio > 7  # paper: "an order of magnitude less power"
+
+    def test_energy_additivity(self):
+        model = WAVELAN_2_4GHZ
+        energy = model.energy(
+            sleep_s=10.0, idle_s=2.0, receive_s=1.0, transmit_s=0.5, wake_count=4
+        )
+        expected = (
+            10.0 * 0.177
+            + 2.0 * 1.319
+            + 1.0 * 1.425
+            + 0.5 * 1.675
+            + 4 * 0.002 * 1.319
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_wake_penalty_energy(self):
+        assert WAVELAN_2_4GHZ.wake_penalty_j == pytest.approx(0.002 * 1.319)
+
+    def test_rejects_sleep_above_idle(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_w=1.0, receive_w=1.1, transmit_w=1.2, sleep_w=1.5)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_w=0.0, receive_w=1.1, transmit_w=1.2, sleep_w=0.1)
+
+    def test_rejects_negative_wake_penalty(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(
+                idle_w=1.0, receive_w=1.1, transmit_w=1.2, sleep_w=0.1,
+                wake_penalty_s=-1.0,
+            )
