@@ -71,6 +71,80 @@ def parse_interval(text: str):
     return float(text)
 
 
+def parse_window(text: str):
+    """'3.0:4.5' -> Window(3.0, 4.5)."""
+    from repro.faults import Window
+
+    try:
+        start, _, end = text.partition(":")
+        return Window(float(start), float(end))
+    except ValueError as exc:
+        raise ConfigurationError(f"bad window {text!r}: {exc}") from exc
+
+
+def parse_churn(text: str):
+    """'2:10' or '2:10:25' -> ChurnEvent(index, leave_at[, rejoin_at])."""
+    from repro.faults import ChurnEvent
+
+    try:
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError("expected index:leave[:rejoin]")
+        index, leave = int(parts[0]), float(parts[1])
+        rejoin = float(parts[2]) if len(parts) == 3 else None
+        return ChurnEvent(index, leave, rejoin)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad churn spec {text!r}: {exc}") from exc
+
+
+def parse_burst_loss(text: str):
+    """'p_gb:p_bg[:loss_bad[:loss_good]]' -> GilbertElliottSpec."""
+    from repro.faults import GilbertElliottSpec
+
+    try:
+        parts = [float(p) for p in text.split(":")]
+        if len(parts) not in (2, 3, 4):
+            raise ValueError("expected p_gb:p_bg[:loss_bad[:loss_good]]")
+        kwargs = dict(zip(("p_good_bad", "p_bad_good", "loss_bad", "loss_good"), parts))
+        return GilbertElliottSpec(**kwargs)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad burst-loss spec {text!r}: {exc}") from exc
+
+
+def build_fault_plan(args):
+    """Assemble a FaultPlan from the ``--fault-*`` options (or None)."""
+    from repro.faults import ClockFaultSpec, FaultPlan
+
+    clock = None
+    if args.fault_clock_skew_ppm or args.fault_clock_jitter_ms:
+        clock = ClockFaultSpec(
+            skew_ppm=args.fault_clock_skew_ppm,
+            jitter_s=args.fault_clock_jitter_ms / 1000.0,
+        )
+    plan = FaultPlan(
+        loss_rate=args.fault_loss,
+        burst_loss=(
+            parse_burst_loss(args.fault_burst_loss)
+            if args.fault_burst_loss
+            else None
+        ),
+        duplicate_rate=args.fault_dup,
+        reorder_rate=args.fault_reorder,
+        corrupt_rate=args.fault_corrupt,
+        outages=tuple(parse_window(w) for w in args.fault_outage),
+        schedule_blackouts=tuple(
+            parse_window(w) for w in args.fault_blackout
+        ),
+        clock=clock,
+        churn=tuple(parse_churn(c) for c in args.fault_churn),
+        fallback_after_misses=args.fault_fallback_misses,
+        silence_timeout_s=args.fault_silence_timeout,
+    )
+    if not plan.touches_medium and clock is None and plan.silence_timeout_s is None:
+        return None
+    return plan
+
+
 def parse_clients(text: str):
     """'video:56,video:512,web,ftp:2097152' -> list of ClientSpec."""
     from repro.experiments.runner import ClientSpec
@@ -111,6 +185,7 @@ def cmd_run(args) -> int:
         seed=args.seed,
         early_s=args.early_ms / 1000.0,
         reuse_schedules=args.reuse,
+        faults=build_fault_plan(args),
     )
     result = run_experiment(config)
     rows = [
@@ -134,6 +209,17 @@ def cmd_run(args) -> int:
             f"loss {summary.avg_loss_pct:.2f}%  "
             f"peak proxy buffer {result.peak_proxy_buffer_bytes/1024:.0f} KiB"
         )
+        if result.fault_counters:
+            drops = "  ".join(
+                f"{key}:{count}"
+                for key, count in result.fault_counters.items()
+            )
+            print(f"drops {drops}")
+        if result.slots_reclaimed or result.slots_restored:
+            print(
+                f"slots reclaimed {result.slots_reclaimed} "
+                f"restored {result.slots_restored}"
+            )
     return 0
 
 
@@ -247,6 +333,39 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--early-ms", type=float, default=6.0)
     run.add_argument("--reuse", action="store_true",
                      help="enable §5 schedule reuse")
+    faults = run.add_argument_group(
+        "fault injection (deterministic under --seed; see repro.faults)"
+    )
+    faults.add_argument("--fault-loss", type=float, default=0.0,
+                        metavar="RATE", help="iid wireless frame loss rate")
+    faults.add_argument("--fault-burst-loss", default="",
+                        metavar="PGB:PBG[:LBAD[:LGOOD]]",
+                        help="Gilbert-Elliott bursty loss parameters")
+    faults.add_argument("--fault-dup", type=float, default=0.0,
+                        metavar="RATE", help="frame duplication rate")
+    faults.add_argument("--fault-reorder", type=float, default=0.0,
+                        metavar="RATE", help="frame reordering rate")
+    faults.add_argument("--fault-corrupt", type=float, default=0.0,
+                        metavar="RATE", help="frame corruption (CRC-fail) rate")
+    faults.add_argument("--fault-outage", action="append", default=[],
+                        metavar="START:END",
+                        help="AP outage window (repeatable)")
+    faults.add_argument("--fault-blackout", action="append", default=[],
+                        metavar="START:END",
+                        help="schedule-broadcast blackout window (repeatable)")
+    faults.add_argument("--fault-churn", action="append", default=[],
+                        metavar="CLIENT:LEAVE[:REJOIN]",
+                        help="client churn event (repeatable)")
+    faults.add_argument("--fault-clock-skew-ppm", type=float, default=0.0,
+                        help="client clock rate error in ppm")
+    faults.add_argument("--fault-clock-jitter-ms", type=float, default=0.0,
+                        help="client wake-up timer jitter stddev (ms)")
+    faults.add_argument("--fault-fallback-misses", type=int, default=3,
+                        metavar="N",
+                        help="missed broadcasts before always-listen fallback")
+    faults.add_argument("--fault-silence-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="reclaim slots of clients silent this long")
     run.add_argument("--json", action="store_true")
     run.set_defaults(func=cmd_run)
 

@@ -14,6 +14,15 @@ reproduces the paper's corner cases:
   schedule is heard (§3.3);
 * a missed marked packet leaves the WNIC awake until the next schedule
   (§3.2.2).
+
+Graceful degradation: while schedules keep failing to arrive, the
+client keeps listening on the last known interval cadence, counting
+every missed broadcast; after ``fallback_after_misses`` consecutive
+misses it declares the control channel lost and *falls back* to a safe
+always-listen mode (no data can be missed, at naive-client energy
+cost). The first schedule heard afterwards resynchronizes it back to
+scheduled sleep; the ``fallbacks``/``resyncs`` counters surface both
+transitions.
 """
 
 from __future__ import annotations
@@ -40,6 +49,9 @@ DEFAULT_SCHEDULE_GRACE_S = 0.012
 #: slot is empty (e.g. a reused schedule whose queue has drained) and
 #: the client goes back to sleep instead of waiting for a mark.
 DEFAULT_BURST_NOSHOW_S = 0.010
+#: Consecutive missed schedule broadcasts before the client falls back
+#: to always-listen mode.
+DEFAULT_FALLBACK_AFTER_MISSES = 3
 
 
 class PowerAwareClient:
@@ -55,7 +67,12 @@ class PowerAwareClient:
         schedule_grace_s: float = DEFAULT_SCHEDULE_GRACE_S,
         wireless_iface: str = "wl0",
         enforce_sleep_drops: bool = True,
+        fallback_after_misses: int = DEFAULT_FALLBACK_AFTER_MISSES,
     ) -> None:
+        if fallback_after_misses < 1:
+            raise SchedulingError(
+                f"fallback_after_misses must be >= 1: {fallback_after_misses!r}"
+            )
         self.node = node
         self.sim = node.sim
         self.wnic = wnic
@@ -63,6 +80,7 @@ class PowerAwareClient:
         self.trace = trace
         self.min_sleep_gap_s = min_sleep_gap_s
         self.schedule_grace_s = schedule_grace_s
+        self.fallback_after_misses = fallback_after_misses
         if wireless_iface not in node.interfaces:
             raise SchedulingError(
                 f"{node.name} has no interface {wireless_iface!r}"
@@ -91,6 +109,12 @@ class PowerAwareClient:
         self.early_wait_s = 0.0
         self.miss_recovery_s = 0.0
         self.data_packets_seen = 0
+
+        # -- graceful-degradation state --
+        self.in_fallback = False
+        self.fallbacks = 0
+        self.resyncs = 0
+        self.max_consecutive_misses = 0
 
         self.sim.process(self._run())
 
@@ -242,14 +266,47 @@ class PowerAwareClient:
         if result is not None:
             self.early_wait_s += max(0.0, result[1] - wake_time)
             return result
-        # Missed: stay in high-power mode until the next schedule (§3.3).
-        self.missed_schedules += 1
-        if self.trace is not None:
-            self.trace.record(
-                self.sim.now, "client.schedule-missed", client=self.node.ip,
-            )
+        # Missed: stay in high-power mode (§3.3) and keep listening on
+        # the last known interval cadence, counting every broadcast
+        # that fails to arrive. After ``fallback_after_misses``
+        # consecutive misses the control channel is declared lost and
+        # the client falls back to plain always-listen mode until a
+        # schedule is heard again (graceful degradation).
         recovery_start = self.sim.now
-        result = yield from self._await_schedule(deadline=None)
+        consecutive = 0
+        while result is None:
+            consecutive += 1
+            self.missed_schedules += 1
+            self.max_consecutive_misses = max(
+                self.max_consecutive_misses, consecutive
+            )
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, "client.schedule-missed",
+                    client=self.node.ip, consecutive=consecutive,
+                )
+            if consecutive >= self.fallback_after_misses:
+                if not self.in_fallback:
+                    self.in_fallback = True
+                    self.fallbacks += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            self.sim.now, "client.fallback",
+                            client=self.node.ip, misses=consecutive,
+                        )
+                result = yield from self._await_schedule(deadline=None)
+                break
+            predicted += schedule.interval
+            result = yield from self._await_schedule(
+                deadline=predicted + self.schedule_grace_s
+            )
+        if self.in_fallback:
+            self.in_fallback = False
+            self.resyncs += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, "client.resync", client=self.node.ip,
+                )
         self.miss_recovery_s += self.sim.now - recovery_start
         return result
 
@@ -287,4 +344,7 @@ class PowerAwareClient:
             "schedules_heard": self.schedules_heard,
             "early_wait_s": self.early_wait_s,
             "miss_recovery_s": self.miss_recovery_s,
+            "fallbacks": self.fallbacks,
+            "resyncs": self.resyncs,
+            "max_consecutive_misses": self.max_consecutive_misses,
         }

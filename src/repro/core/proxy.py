@@ -99,6 +99,11 @@ class TransparentProxy(Node):
         self.scheduler = None  # attached via attach_scheduler()
         self.udp_packets_intercepted = 0
         self.tcp_connections_split = 0
+        #: Last simulated time any uplink packet from each client was
+        #: seen. The proxy bridges every client→server packet (TCP ACKs,
+        #: video feedback), so this is a passive liveness signal the
+        #: scheduler uses to reclaim slots from silent clients.
+        self.last_uplink: dict[str, float] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -215,6 +220,8 @@ class TransparentProxy(Node):
     # -- interception (the IPQ analog) -----------------------------------------------
 
     def _intercept(self, packet: Packet, iface: Interface) -> bool:
+        if packet.src.ip in self.client_ips:
+            self.last_uplink[packet.src.ip] = self.sim.now
         if packet.proto == "tcp":
             return self._intercept_tcp(packet, iface)
         return self._intercept_udp(packet, iface)

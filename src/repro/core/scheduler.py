@@ -48,6 +48,7 @@ class DynamicScheduler:
         slot_gap_s: float = DEFAULT_SLOT_GAP_S,
         schedule_guard_s: float = DEFAULT_SCHEDULE_GUARD_S,
         reuse_schedules: bool = False,
+        silence_timeout_s: Optional[float] = None,
     ) -> None:
         """Args:
         proxy: owning proxy (supplies queues, burster and the socket).
@@ -55,12 +56,20 @@ class DynamicScheduler:
         interval_s: fixed burst interval; None selects the variable
             policy bounded by ``min_interval_s``/``max_interval_s``.
         reuse_schedules: enable the §5 schedule-reuse extension.
+        silence_timeout_s: reclaim the slot of a client whose uplink
+            has been silent this long (None disables reclamation). A
+            client that never transmitted anything is never judged
+            silent — there is no baseline to decay from.
         """
         if interval_s is not None and interval_s <= 0:
             raise SchedulingError(f"interval must be positive: {interval_s!r}")
         if min_interval_s <= 0 or max_interval_s < min_interval_s:
             raise SchedulingError(
                 f"bad interval bounds: [{min_interval_s}, {max_interval_s}]"
+            )
+        if silence_timeout_s is not None and silence_timeout_s <= 0:
+            raise SchedulingError(
+                f"silence_timeout_s must be positive: {silence_timeout_s!r}"
             )
         self.proxy = proxy
         self.cost_model = cost_model
@@ -70,10 +79,14 @@ class DynamicScheduler:
         self.slot_gap_s = slot_gap_s
         self.schedule_guard_s = schedule_guard_s
         self.reuse_schedules = reuse_schedules
+        self.silence_timeout_s = silence_timeout_s
         self.schedules_sent = 0
         self.schedules_reused = 0
+        self.slots_reclaimed = 0
+        self.slots_restored = 0
         self.seq = 0
         self._last_layout: Optional[tuple] = None
+        self._silenced: set[str] = set()
 
     @property
     def is_variable(self) -> bool:
@@ -101,12 +114,44 @@ class DynamicScheduler:
             cost += acks * self.cost_model.packet_cost(0)
         return cost
 
+    def _update_silenced(self) -> None:
+        """Track which clients' uplinks went quiet (and came back).
+
+        The proxy bridges every uplink packet, so ``proxy.last_uplink``
+        is a passive liveness signal: a client whose radio died (or
+        that left the cell) stops producing TCP ACKs and feedback
+        reports. Its queue keeps its data, but its burst slot is
+        reclaimed for live clients until it is heard again.
+        """
+        if self.silence_timeout_s is None:
+            return
+        now = self.proxy.sim.now
+        for ip, last_heard in self.proxy.last_uplink.items():
+            silent = (now - last_heard) > self.silence_timeout_s
+            if silent and ip not in self._silenced:
+                self._silenced.add(ip)
+                self.slots_reclaimed += 1
+                if self.proxy.trace is not None:
+                    self.proxy.trace.record(
+                        now, "scheduler.reclaim", client=ip,
+                        silent_s=now - last_heard,
+                    )
+            elif not silent and ip in self._silenced:
+                self._silenced.discard(ip)
+                self.slots_restored += 1
+                if self.proxy.trace is not None:
+                    self.proxy.trace.record(
+                        now, "scheduler.restore", client=ip,
+                    )
+
     def build_schedule(self, srp: float) -> Schedule:
         """Snapshot the queues and construct the schedule for one interval."""
+        self._update_silenced()
         pending = [
             (ip, *self.proxy.scheduling_backlog_by_kind(ip))
             for ip, _queue in self.proxy.iter_queues()
             if self.proxy.scheduling_backlog(ip) > 0
+            and ip not in self._silenced
         ]
         # Rotate the burst order every interval so no client always goes
         # first (the paper's example schedules reorder clients freely).

@@ -90,6 +90,22 @@ def overlap_total(
     return float(np.sum(fn(merged[:, 1]) - fn(merged[:, 0])))
 
 
+def intersect_intervals(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted, disjoint interval sets."""
+    out = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i, 0], b[j, 0])
+        end = min(a[i, 1], b[j, 1])
+        if start < end:
+            out.append((start, end))
+        if a[i, 1] <= b[j, 1]:
+            i += 1
+        else:
+            j += 1
+    return np.asarray(out, dtype=float).reshape(-1, 2)
+
+
 def merge_intervals(intervals: np.ndarray) -> np.ndarray:
     """Merge possibly-overlapping intervals into a sorted disjoint set."""
     array = np.asarray(intervals, dtype=float).reshape(-1, 2)
@@ -135,7 +151,18 @@ def integrate_intervals(
         if tx_array.size
         else 0.0
     )
-    # rx/tx overlap is impossible on a half-duplex card; guard anyway.
+    # Half-duplex: where rx and tx airtime coincide (adversarial or
+    # replayed traces), transmit wins and receive is not charged —
+    # otherwise the residencies sum past the run duration.
+    rx_array = np.asarray(rx_frames, dtype=float).reshape(-1, 2)
+    if rx_array.size and tx_array.size and awake_array.size:
+        rx_in_awake = intersect_intervals(
+            awake_array, merge_intervals(rx_array)
+        )
+        if rx_in_awake.size:
+            receive_s = max(
+                0.0, receive_s - overlap_total(rx_in_awake, tx_frames)
+            )
     idle_s = max(0.0, awake_total - receive_s - tx_in_awake)
     sleep_s = max(0.0, duration_s - awake_total - (transmit_s - tx_in_awake))
     energy = power.energy(sleep_s, idle_s, receive_s, transmit_s, wake_count)

@@ -67,7 +67,12 @@ class ClientReport:
 
 @dataclass(frozen=True, slots=True)
 class ExperimentSummary:
-    """Average / min / max statistics over a set of client reports."""
+    """Average / min / max statistics over a set of client reports.
+
+    ``drops`` is the scenario's unified drop/fault accounting (one
+    entry per counter key, e.g. ``"link.dropped"``,
+    ``"faults.blackout"``) — where every lost packet went.
+    """
 
     count: int
     avg_saved_pct: float
@@ -75,19 +80,31 @@ class ExperimentSummary:
     max_saved_pct: float
     avg_loss_pct: float
     max_loss_pct: float
+    drops: dict = field(default_factory=dict)
+
+    @property
+    def total_drops(self) -> int:
+        """Every packet any layer discarded or failed to deliver."""
+        return sum(self.drops.values())
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
+        text = (
             f"n={self.count} saved avg={self.avg_saved_pct:.1f}% "
             f"[{self.min_saved_pct:.1f}, {self.max_saved_pct:.1f}] "
             f"loss avg={self.avg_loss_pct:.2f}% max={self.max_loss_pct:.2f}%"
         )
+        if self.drops:
+            text += f" drops={self.total_drops}"
+        return text
 
 
-def summarize(reports: Sequence[ClientReport]) -> ExperimentSummary:
+def summarize(
+    reports: Sequence[ClientReport],
+    drops: Optional[dict] = None,
+) -> ExperimentSummary:
     """Aggregate client reports the way the paper's bar charts do."""
     if not reports:
-        return ExperimentSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return ExperimentSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, drops or {})
     saved = [report.energy_saved_pct for report in reports]
     loss = [report.loss_pct for report in reports]
     return ExperimentSummary(
@@ -97,4 +114,5 @@ def summarize(reports: Sequence[ClientReport]) -> ExperimentSummary:
         max_saved_pct=max(saved),
         avg_loss_pct=sum(loss) / len(loss),
         max_loss_pct=max(loss),
+        drops=drops or {},
     )

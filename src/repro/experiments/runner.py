@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.bandwidth_model import calibrate
-from repro.core.client import PowerAwareClient
+from repro.core.client import DEFAULT_FALLBACK_AFTER_MISSES, PowerAwareClient
 from repro.core.delay_comp import AdaptiveCompensator, FixedClockCompensator
 from repro.core.scheduler import DynamicScheduler
 from repro.core.static_schedule import StaticClient, StaticScheduler, build_layout
@@ -21,6 +21,7 @@ from repro.energy.analyzer import EnergyAnalyzer
 from repro.energy.optimal import optimal_energy_saved_pct
 from repro.energy.report import ClientReport, ExperimentSummary, summarize
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.net.addr import Endpoint
 from repro.units import mib
 from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
@@ -79,6 +80,10 @@ class ExperimentConfig:
     adaptive_video: bool = True
     power: PowerModel = WAVELAN_2_4GHZ
     scenario: Optional[ScenarioConfig] = None
+    #: Deterministic fault-injection plan (see :mod:`repro.faults`).
+    #: Threaded into the scenario, the scheduler's slot-reclamation
+    #: timeout and every client's fallback/clock-error wiring.
+    faults: Optional[FaultPlan] = None
     #: False reproduces the paper's postmortem mode: clients receive
     #: even while "asleep", and drops are computed offline (§4.3).
     enforce_sleep_drops: bool = True
@@ -110,6 +115,11 @@ class ExperimentResult:
     medium_misses: int
     downshifts: int
     duration_s: float
+    #: Unified per-fault/drop counters (empty dict when nothing dropped).
+    fault_counters: dict = field(default_factory=dict)
+    #: Burst slots reclaimed from / restored to silent clients.
+    slots_reclaimed: int = 0
+    slots_restored: int = 0
 
     @property
     def clients(self) -> list[ClientReport]:
@@ -156,6 +166,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         raise ConfigurationError(
             "scenario.n_clients must match len(config.clients)"
         )
+    if config.faults is not None:
+        if (
+            scenario_config.faults is not None
+            and scenario_config.faults != config.faults
+        ):
+            raise ConfigurationError(
+                "fault plans given on both ExperimentConfig and "
+                "ScenarioConfig disagree"
+            )
+        scenario_config.faults = config.faults
+    plan = scenario_config.faults
     scenario = build_scenario(scenario_config)
     sim = scenario.sim
     cost_model = calibrate(scenario.medium)
@@ -167,6 +188,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             cost_model,
             interval_s=config.burst_interval_s,
             reuse_schedules=config.reuse_schedules,
+            silence_timeout_s=(
+                plan.silence_timeout_s if plan is not None else None
+            ),
         )
     else:
         if config.burst_interval_s is None:
@@ -203,9 +227,18 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                     early_s=config.early_s,
                     clock_offset_estimate_s=config.fixed_clock_offset_error_s,
                 )
+            if scenario.faults is not None:
+                compensator = scenario.faults.compensator_for(
+                    handle.index, compensator
+                )
             handle.daemon = PowerAwareClient(
                 handle.node, handle.wnic, compensator, trace=scenario.trace,
                 enforce_sleep_drops=config.enforce_sleep_drops,
+                fallback_after_misses=(
+                    plan.fallback_after_misses
+                    if plan is not None
+                    else DEFAULT_FALLBACK_AFTER_MISSES
+                ),
             )
         else:
             handle.daemon = StaticClient(
@@ -324,6 +357,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 "transfer_time_s": app.transfer_time_s,
             }
         counters = getattr(handle.daemon, "counters", None) or {}
+        if counters.get("fallbacks") or counters.get("resyncs"):
+            extra["fallbacks"] = counters["fallbacks"]
+            extra["resyncs"] = counters["resyncs"]
         reports.append(
             analyzer.analyze(
                 name=handle.node.name,
@@ -343,10 +379,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     video_reports = [r for r in reports if r.kind == "video"]
     tcp_reports = [r for r in reports if r.kind in ("web", "ftp")]
+    drop_totals = scenario.counters.totals()
     return ExperimentResult(
         config=config,
         reports=reports,
-        summary=summarize(reports),
+        summary=summarize(reports, drops=drop_totals),
         video_summary=summarize(video_reports),
         tcp_summary=summarize(tcp_reports),
         peak_proxy_buffer_bytes=scenario.proxy.peak_buffered_bytes,
@@ -356,4 +393,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         medium_misses=scenario.medium.frames_missed,
         downshifts=downshifts,
         duration_s=sim.now,
+        fault_counters=drop_totals,
+        slots_reclaimed=getattr(scheduler, "slots_reclaimed", 0),
+        slots_restored=getattr(scheduler, "slots_restored", 0),
     )

@@ -16,10 +16,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.proxy import TransparentProxy
+from repro.faults import FaultController, FaultCounters, FaultPlan
 from repro.net.access_point import AccessPoint
 from repro.net.link import Link
 from repro.net.medium import WirelessMedium
 from repro.net.node import Node
+from repro.net.packet import reset_packet_ids
 from repro.net.sniffer import MonitoringStation
 from repro.sim import RngStreams, Simulator, TraceRecorder
 from repro.units import mbps, ms
@@ -56,6 +58,8 @@ class ScenarioConfig:
     ap_spike_max_s: float = 0.006
     servers: tuple[str, ...] = (VIDEO_SERVER_IP, WEB_SERVER_IP, FTP_SERVER_IP)
     tcp_mode: str = "split"  # see TransparentProxy
+    #: Optional deterministic fault-injection plan (see repro.faults).
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -83,6 +87,10 @@ class Scenario:
     clients: list[ClientHandle]
     monitor: MonitoringStation
     lan_hub: Node = None
+    #: Scenario-wide drop/fault accounting (always present).
+    counters: FaultCounters = None
+    #: Installed fault controller, or None when no plan was given.
+    faults: Optional[FaultController] = None
 
     @property
     def video_server(self) -> Node:
@@ -100,9 +108,11 @@ class Scenario:
 def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     """Assemble the testbed of §4.1 from a configuration."""
     config = config or ScenarioConfig()
+    reset_packet_ids()
     sim = Simulator()
     streams = RngStreams(seed=config.seed)
     trace = TraceRecorder()
+    counters = FaultCounters()
 
     client_ips = {client_ip(i) for i in range(config.n_clients)}
 
@@ -123,6 +133,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         rng=streams.get("medium-backoff"),
         trace=trace,
         drop=drop,
+        counters=counters,
     )
     ap = AccessPoint(
         sim, "ap", AP_IP,
@@ -142,16 +153,16 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         sim, "proxy", PROXY_IP, client_ips, trace=trace,
         tcp_mode=config.tcp_mode,
     )
-    Link(sim, config.wired_rate_bps, config.wired_latency_s).attach(
-        proxy.air, ap.wired
-    )
+    Link(
+        sim, config.wired_rate_bps, config.wired_latency_s, counters=counters
+    ).attach(proxy.air, ap.wired)
 
     hub = Node(sim, "lan-hub", "10.0.2.254", trace=trace)
     hub.forwarding = True
     hub_proxy_iface = hub.add_interface("uplink")
-    Link(sim, config.wired_rate_bps, config.wired_latency_s).attach(
-        proxy.lan, hub_proxy_iface
-    )
+    Link(
+        sim, config.wired_rate_bps, config.wired_latency_s, counters=counters
+    ).attach(proxy.lan, hub_proxy_iface)
     hub.set_default_route(hub_proxy_iface)
 
     servers: dict[str, Node] = {}
@@ -159,9 +170,10 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         server = Node(sim, f"server-{server_addr}", server_addr, trace=trace)
         server_iface = server.add_interface("eth0")
         hub_iface = hub.add_interface(f"port-{server_addr}")
-        Link(sim, config.wired_rate_bps, config.wired_latency_s).attach(
-            server_iface, hub_iface
-        )
+        Link(
+            sim, config.wired_rate_bps, config.wired_latency_s,
+            counters=counters,
+        ).attach(server_iface, hub_iface)
         server.set_default_route(server_iface)
         hub.add_route(server_addr, hub_iface)
         servers[server_addr] = server
@@ -180,6 +192,17 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         wnic = Wnic(sim, node.name, trace=trace)
         clients.append(ClientHandle(index=index, node=node, wnic=wnic))
 
+    # -- fault injection ----------------------------------------------------
+    controller = None
+    if config.faults is not None:
+        controller = FaultController(
+            config.faults,
+            medium=medium,
+            streams=streams,
+            ip_of=client_ip,
+            trace=trace,
+        ).install()
+
     return Scenario(
         config=config,
         sim=sim,
@@ -192,4 +215,6 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         clients=clients,
         monitor=monitor,
         lan_hub=hub,
+        counters=counters,
+        faults=controller,
     )

@@ -1,0 +1,53 @@
+"""Deterministic fault injection and unified drop accounting.
+
+Declare *what goes wrong* in a :class:`FaultPlan`, hand it to a
+scenario (``ScenarioConfig(faults=...)`` or
+``ExperimentConfig(faults=...)``), and every injector — loss, bursty
+loss, duplication, reordering, corruption, outages, schedule
+blackouts, clock error, churn — replays byte-identically under the
+experiment seed. :class:`FaultCounters` is the one place all drops are
+accounted, whatever layer discarded the packet.
+"""
+
+from repro.faults.controller import DriftingCompensator, FaultController
+from repro.faults.counters import FaultCounters
+from repro.faults.injectors import (
+    Churn,
+    Corruptor,
+    Duplicator,
+    FaultPipeline,
+    GilbertElliottLoss,
+    IidLoss,
+    Outage,
+    Reorderer,
+    ScheduleBlackout,
+    Verdict,
+)
+from repro.faults.plan import (
+    ChurnEvent,
+    ClockFaultSpec,
+    FaultPlan,
+    GilbertElliottSpec,
+    Window,
+)
+
+__all__ = [
+    "Churn",
+    "ChurnEvent",
+    "ClockFaultSpec",
+    "Corruptor",
+    "DriftingCompensator",
+    "Duplicator",
+    "FaultController",
+    "FaultCounters",
+    "FaultPipeline",
+    "FaultPlan",
+    "GilbertElliottLoss",
+    "GilbertElliottSpec",
+    "IidLoss",
+    "Outage",
+    "Reorderer",
+    "ScheduleBlackout",
+    "Verdict",
+    "Window",
+]

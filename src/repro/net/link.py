@@ -11,6 +11,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.errors import NetworkError
+from repro.faults.counters import FaultCounters
 from repro.net.node import Interface
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
@@ -42,7 +43,7 @@ class _Direction:
             packet = self.queue.popleft()
             yield sim.timeout(transmit_time(packet.wire_size, self.link.rate_bps))
             if self.link.drop is not None and self.link.drop(packet):
-                self.link.packets_dropped += 1
+                self.link.counters.incr(self.link.drop_key)
                 continue
             delay = self.link.latency
             if self.link.jitter is not None:
@@ -71,6 +72,8 @@ class Link:
         latency: float = 0.0,
         jitter: Optional[JitterFn] = None,
         drop: Optional[DropFn] = None,
+        counters: Optional[FaultCounters] = None,
+        drop_key: str = "link.dropped",
     ) -> None:
         if rate_bps <= 0:
             raise NetworkError(f"link rate must be positive: {rate_bps!r}")
@@ -81,10 +84,19 @@ class Link:
         self.latency = latency
         self.jitter = jitter
         self.drop = drop
+        #: Drops are accounted in a (possibly scenario-shared) counter
+        #: registry under ``drop_key``, so links, pipes and the wireless
+        #: medium all report through one API.
+        self.counters = counters if counters is not None else FaultCounters()
+        self.drop_key = drop_key
         self.packets_delivered = 0
-        self.packets_dropped = 0
         self._ifaces: Optional[tuple[Interface, Interface]] = None
         self._directions: dict[Interface, _Direction] = {}
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets this link's drop hook discarded."""
+        return self.counters.get(self.drop_key)
 
     def attach(self, iface_a: Interface, iface_b: Interface) -> "Link":
         """Connect the two endpoints of this link."""

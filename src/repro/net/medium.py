@@ -22,6 +22,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import NetworkError
+from repro.faults.counters import FaultCounters
 from repro.net.node import Interface
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
@@ -48,6 +49,7 @@ class WirelessMedium:
         rng: Optional[np.random.Generator] = None,
         trace: Optional[TraceRecorder] = None,
         drop: Optional[Callable[[Packet], bool]] = None,
+        counters: Optional[FaultCounters] = None,
     ) -> None:
         if rate_bps <= 0:
             raise NetworkError(f"medium rate must be positive: {rate_bps!r}")
@@ -58,6 +60,10 @@ class WirelessMedium:
         self.rng = rng
         self.trace = trace
         self.drop = drop
+        self.counters = counters if counters is not None else FaultCounters()
+        #: Optional fault-injection pipeline (see :mod:`repro.faults`);
+        #: consulted per frame after airtime, before delivery.
+        self.faults = None
         self._stations: list[Interface] = []
         self._gateway: Optional[Interface] = None
         self._queue: deque[tuple[Interface, Packet]] = deque()
@@ -118,6 +124,7 @@ class WirelessMedium:
             yield sim.timeout(occupancy)
             self.busy_time += sim.now - start
             if self.drop is not None and self.drop(packet):
+                self.counters.incr("medium.channel_drop")
                 if self.trace is not None:
                     self.trace.record(
                         sim.now, "medium.drop.channel",
@@ -125,6 +132,30 @@ class WirelessMedium:
                         size=packet.wire_size,
                     )
                 continue
+            if self.faults is not None:
+                verdict = self.faults.judge(sim.now, packet)
+                if verdict is not None:
+                    self.counters.incr(f"faults.{verdict.reason}")
+                    if verdict.action == "drop":
+                        if self.trace is not None:
+                            self.trace.record(
+                                sim.now, "medium.drop.fault",
+                                reason=verdict.reason,
+                                src=packet.src.ip, dst=packet.dst.ip,
+                                size=packet.wire_size,
+                                broadcast=packet.is_broadcast,
+                            )
+                        continue
+                    if verdict.action == "reorder":
+                        # Requeue behind everything currently waiting:
+                        # the frame burns airtime again and arrives
+                        # late and out of order.
+                        self._queue.append((src_iface, packet))
+                        continue
+                    if verdict.action == "duplicate":
+                        # Deliver now and transmit a second copy after
+                        # the queue drains (a spurious MAC retry).
+                        self._queue.append((src_iface, packet))
             self.frames_sent += 1
             self._deliver(src_iface, packet, start, sim.now)
         self._busy = False
@@ -158,10 +189,17 @@ class WirelessMedium:
             )
             if not addressed:
                 continue
-            if iface.can_receive(packet):
+            out_of_range = self.faults is not None and not self.faults.can_hear(
+                end, iface.node.ip
+            )
+            if not out_of_range and iface.can_receive(packet):
                 iface.deliver(packet)
             else:
                 self.frames_missed += 1
+                self.counters.incr(
+                    "faults.churn_miss" if out_of_range
+                    else "medium.sleep_miss"
+                )
                 if self.trace is not None:
                     self.trace.record(
                         end, "medium.miss",

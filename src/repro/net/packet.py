@@ -32,6 +32,19 @@ MSS = 1460
 _packet_ids = itertools.count(1)
 
 
+def reset_packet_ids() -> None:
+    """Restart the global packet-id sequence.
+
+    Called once per scenario build so packet ids — which end up in
+    traces and saved captures — are a pure function of (config, seed)
+    rather than of whatever ran earlier in the process. Ids are only
+    ever compared within one scenario, so the reset cannot confuse a
+    concurrently-alive one.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
 class TcpFlags(Flag):
     """TCP control flags used by the simplified stack."""
 

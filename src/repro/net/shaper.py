@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import NetworkError
+from repro.faults.counters import FaultCounters
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
@@ -36,6 +37,7 @@ class DummyNetPipe(Link):
         delay_s: float = 0.0,
         plr: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        counters: Optional[FaultCounters] = None,
     ) -> None:
         if not 0.0 <= plr < 1.0:
             raise NetworkError(f"plr must be in [0, 1), got {plr!r}")
@@ -45,7 +47,8 @@ class DummyNetPipe(Link):
         self._rng = rng
         drop = self._maybe_drop if plr > 0.0 else None
         super().__init__(
-            sim, rate_bps=bandwidth_bps, latency=delay_s, drop=drop
+            sim, rate_bps=bandwidth_bps, latency=delay_s, drop=drop,
+            counters=counters, drop_key="shaper.dropped",
         )
 
     def _maybe_drop(self, packet: Packet) -> bool:

@@ -117,10 +117,17 @@ class AsyncPowerClient:
     def _on_datagram(self, payload: bytes) -> None:
         try:
             raw = decode_control(payload)
+            schedule = (
+                RuntimeSchedule.decode(payload)
+                if raw["type"] == "schedule"
+                else None
+            )
         except SchedulingError:
+            # Anything on the network can reach this socket; hostile or
+            # truncated datagrams must never take the daemon down.
             return
-        if raw["type"] == "schedule":
-            self._on_schedule(RuntimeSchedule.decode(payload))
+        if schedule is not None:
+            self._on_schedule(schedule)
         elif raw["type"] == "mark":
             self._on_mark()
 

@@ -15,6 +15,46 @@ from typing import Optional
 from repro.errors import SchedulingError
 
 
+def _number(raw: dict, key: str, *, minimum: Optional[float] = None,
+            exclusive: bool = False) -> float:
+    """A required finite numeric field, with an optional lower bound."""
+    value = raw.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchedulingError(f"field {key!r} must be a number, got {value!r}")
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise SchedulingError(f"field {key!r} is not finite: {value!r}")
+    if minimum is not None:
+        if exclusive and not value > minimum:
+            raise SchedulingError(f"field {key!r} must be > {minimum}")
+        if not exclusive and not value >= minimum:
+            raise SchedulingError(f"field {key!r} must be >= {minimum}")
+    return value
+
+
+def _integer(raw: dict, key: str, *, minimum: Optional[int] = None) -> int:
+    """A required integer field, with an optional lower bound."""
+    value = raw.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchedulingError(f"field {key!r} must be an int, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise SchedulingError(f"field {key!r} must be >= {minimum}")
+    return value
+
+
+def _loads_object(payload: bytes, what: str) -> dict:
+    """Parse a JSON object, rejecting scalars/arrays/garbage bytes."""
+    try:
+        raw = json.loads(payload)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SchedulingError(f"bad {what} datagram: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise SchedulingError(
+            f"{what} datagram must be a JSON object, got {type(raw).__name__}"
+        )
+    return raw
+
+
 @dataclass(frozen=True, slots=True)
 class RuntimeSlot:
     """One client's burst reservation, offsets relative to the SRP."""
@@ -63,27 +103,47 @@ class RuntimeSchedule:
 
     @classmethod
     def decode(cls, payload: bytes) -> "RuntimeSchedule":
-        """Parse a schedule datagram; raises SchedulingError on garbage."""
-        try:
-            raw = json.loads(payload)
-            if raw.get("type") != "schedule":
-                raise SchedulingError(f"not a schedule datagram: {raw.get('type')}")
-            return cls(
-                seq=raw["seq"],
-                srp=raw["srp"],
-                interval_s=raw["interval_s"],
-                slots=tuple(
-                    RuntimeSlot(
-                        client_id=s["client_id"],
-                        offset_s=s["offset_s"],
-                        duration_s=s["duration_s"],
-                        nbytes=s["nbytes"],
-                    )
-                    for s in raw["slots"]
-                ),
+        """Parse a schedule datagram.
+
+        Every failure mode — truncated bytes, non-JSON, the wrong JSON
+        shape, missing or mistyped fields — raises
+        :class:`SchedulingError`.  A returned schedule is always fully
+        validated; there is no partial decode.
+        """
+        raw = _loads_object(payload, "schedule")
+        if raw.get("type") != "schedule":
+            raise SchedulingError(
+                f"not a schedule datagram: {raw.get('type')!r}"
             )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise SchedulingError(f"malformed schedule datagram: {exc}") from exc
+        slots_raw = raw.get("slots", [])
+        if not isinstance(slots_raw, list):
+            raise SchedulingError(
+                f"field 'slots' must be a list, got {type(slots_raw).__name__}"
+            )
+        slots = []
+        for entry in slots_raw:
+            if not isinstance(entry, dict):
+                raise SchedulingError(
+                    f"slot must be an object, got {type(entry).__name__}"
+                )
+            client_id = entry.get("client_id")
+            if not isinstance(client_id, str) or not client_id:
+                raise SchedulingError(
+                    f"slot field 'client_id' must be a non-empty string, "
+                    f"got {client_id!r}"
+                )
+            slots.append(RuntimeSlot(
+                client_id=client_id,
+                offset_s=_number(entry, "offset_s", minimum=0.0),
+                duration_s=_number(entry, "duration_s", minimum=0.0),
+                nbytes=_integer(entry, "nbytes", minimum=0),
+            ))
+        return cls(
+            seq=_integer(raw, "seq", minimum=0),
+            srp=_number(raw, "srp"),
+            interval_s=_number(raw, "interval_s", minimum=0.0, exclusive=True),
+            slots=tuple(slots),
+        )
 
 
 def encode_mark(client_id: str, seq: int) -> bytes:
@@ -93,10 +153,7 @@ def encode_mark(client_id: str, seq: int) -> bytes:
 
 def decode_control(payload: bytes) -> dict:
     """Decode any control datagram (schedule or mark)."""
-    try:
-        raw = json.loads(payload)
-    except ValueError as exc:
-        raise SchedulingError(f"bad control datagram: {exc}") from exc
-    if "type" not in raw:
-        raise SchedulingError("control datagram missing type")
+    raw = _loads_object(payload, "control")
+    if not isinstance(raw.get("type"), str):
+        raise SchedulingError("control datagram missing string 'type'")
     return raw

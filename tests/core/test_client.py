@@ -153,5 +153,6 @@ def test_counters_property_shape():
     counters = daemon.counters
     assert set(counters) == {
         "missed_schedules", "schedules_heard", "early_wait_s",
-        "miss_recovery_s",
+        "miss_recovery_s", "fallbacks", "resyncs",
+        "max_consecutive_misses",
     }

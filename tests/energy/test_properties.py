@@ -55,6 +55,18 @@ class TestEnergyInvariants:
         ):
             assert value >= -1e-9
 
+    def test_simultaneous_rx_tx_charged_as_transmit_only(self):
+        """Half-duplex: coinciding rx/tx airtime must not double count
+        (regression for a hypothesis-found residency overflow)."""
+        breakdown = integrate_intervals(
+            awake=[(0.0, 1.0)], rx_frames=[(0.0, 1.0)],
+            tx_frames=[(0.0, 1.0)], duration_s=100.0,
+            wake_count=0, power=WAVELAN_2_4GHZ,
+        )
+        assert breakdown.receive_s == 0.0
+        assert breakdown.transmit_s == 1.0
+        assert abs(breakdown.duration_s - 100.0) < 1e-9
+
     @given(awake=disjoint_intervals(), rx=frame_intervals())
     @settings(max_examples=100, deadline=None)
     def test_power_aware_never_beats_all_sleep_nor_exceeds_naive(

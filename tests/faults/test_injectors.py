@@ -1,0 +1,195 @@
+"""Unit tests for every fault injector and the composing pipeline."""
+
+import numpy as np
+
+from repro.core.schedule import SCHEDULE_PORT
+from repro.faults import ChurnEvent, GilbertElliottSpec, Window
+from repro.faults.injectors import (
+    DROP,
+    DUPLICATE,
+    REORDER,
+    Churn,
+    Corruptor,
+    Duplicator,
+    FaultPipeline,
+    GilbertElliottLoss,
+    IidLoss,
+    Outage,
+    Reorderer,
+    ScheduleBlackout,
+)
+from repro.net.addr import BROADCAST_IP, Endpoint
+from repro.net.packet import Packet
+
+CLIENT = "10.0.1.1"
+OTHER = "10.0.1.2"
+SERVER = "10.0.2.1"
+
+
+def data_packet(src=SERVER, dst=CLIENT, port=5004):
+    return Packet("udp", Endpoint(src, 20000), Endpoint(dst, port),
+                  payload_size=700)
+
+
+def schedule_packet():
+    return Packet("udp", Endpoint("10.0.0.1", SCHEDULE_PORT),
+                  Endpoint(BROADCAST_IP, SCHEDULE_PORT), payload_size=80)
+
+
+def verdicts(injector, n=2000, now=0.0, factory=data_packet):
+    return [injector.judge(now, factory()) for _ in range(n)]
+
+
+class TestIidLoss:
+    def test_zero_rate_never_drops(self):
+        loss = IidLoss(0.0, np.random.default_rng(1))
+        assert all(v is None for v in verdicts(loss))
+
+    def test_rate_roughly_respected(self):
+        loss = IidLoss(0.25, np.random.default_rng(2))
+        drops = sum(v is not None for v in verdicts(loss, n=4000))
+        assert 800 < drops < 1200
+        sample = next(v for v in verdicts(loss, n=50) if v is not None)
+        assert sample.action == DROP and sample.reason == "loss"
+
+    def test_deterministic_under_seed(self):
+        a = IidLoss(0.3, np.random.default_rng(7))
+        b = IidLoss(0.3, np.random.default_rng(7))
+        assert verdicts(a) == verdicts(b)
+
+
+class TestGilbertElliott:
+    SPEC = GilbertElliottSpec(p_good_bad=0.05, p_bad_good=0.25)
+
+    def test_classic_config_drops_only_in_bad_state(self):
+        ge = GilbertElliottLoss(self.SPEC, np.random.default_rng(3))
+        for _ in range(5000):
+            verdict = ge.judge(0.0, data_packet())
+            if not ge.bad:
+                assert verdict is None
+            else:
+                assert verdict is not None and verdict.reason == "burst_loss"
+        assert ge.bad_visits > 20
+
+    def test_losses_come_in_bursts(self):
+        """Consecutive drops must cluster far beyond what iid loss with
+        the same average rate would produce."""
+        ge = GilbertElliottLoss(self.SPEC, np.random.default_rng(4))
+        drops = [ge.judge(0.0, data_packet()) is not None
+                 for _ in range(20000)]
+        runs = []
+        current = 0
+        for dropped in drops:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        # geometric with mean 1/p_bad_good = 4
+        mean_run = sum(runs) / len(runs)
+        assert 3.0 < mean_run < 5.0
+
+    def test_deterministic_under_seed(self):
+        a = GilbertElliottLoss(self.SPEC, np.random.default_rng(5))
+        b = GilbertElliottLoss(self.SPEC, np.random.default_rng(5))
+        assert verdicts(a) == verdicts(b)
+
+
+class TestCorruptor:
+    def test_reason_is_corrupt(self):
+        corruptor = Corruptor(0.5, np.random.default_rng(6))
+        sample = next(v for v in verdicts(corruptor) if v is not None)
+        assert sample.action == DROP and sample.reason == "corrupt"
+
+
+class TestDuplicator:
+    def test_second_pass_not_reduplicated(self):
+        dup = Duplicator(1.0, np.random.default_rng(8))
+        packet = data_packet()
+        first = dup.judge(0.0, packet)
+        assert first.action == DUPLICATE and first.reason == "duplicate"
+        # The copy re-enters the channel queue: it must pass through.
+        assert dup.judge(0.0, packet) is None
+        # ...and a fresh frame is judged anew.
+        assert dup.judge(0.0, data_packet()).action == DUPLICATE
+
+
+class TestReorderer:
+    def test_deferred_frame_passes_second_time(self):
+        reorder = Reorderer(1.0, np.random.default_rng(9))
+        packet = data_packet()
+        first = reorder.judge(0.0, packet)
+        assert first.action == REORDER and first.reason == "reorder"
+        assert reorder.judge(0.0, packet) is None
+
+
+class TestOutage:
+    def test_scoped_to_windows(self):
+        outage = Outage((Window(1.0, 2.0), Window(3.0, 4.0)))
+        assert outage.judge(0.5, data_packet()) is None
+        assert outage.judge(1.0, data_packet()).reason == "outage"
+        assert outage.judge(1.5, schedule_packet()).reason == "outage"
+        assert outage.judge(2.0, data_packet()) is None
+        assert outage.judge(3.5, data_packet()).action == DROP
+        assert outage.judge(9.0, data_packet()) is None
+
+
+class TestScheduleBlackout:
+    def test_kills_only_schedule_broadcasts(self):
+        blackout = ScheduleBlackout((Window(1.0, 2.0),))
+        assert blackout.judge(1.5, schedule_packet()).reason == "blackout"
+        # data traffic keeps flowing...
+        assert blackout.judge(1.5, data_packet()) is None
+        # ...and schedules outside the window survive
+        assert blackout.judge(0.5, schedule_packet()) is None
+        assert blackout.judge(2.0, schedule_packet()) is None
+
+    def test_is_schedule_requires_broadcast_and_port(self):
+        assert ScheduleBlackout.is_schedule(schedule_packet())
+        assert not ScheduleBlackout.is_schedule(data_packet())
+        unicast = Packet("udp", Endpoint(SERVER, SCHEDULE_PORT),
+                         Endpoint(CLIENT, SCHEDULE_PORT))
+        assert not ScheduleBlackout.is_schedule(unicast)
+
+
+class TestChurn:
+    def churn(self):
+        events = (ChurnEvent(0, leave_at=2.0, rejoin_at=4.0),)
+        return Churn(events, ip_of=lambda i: f"10.0.1.{i + 1}")
+
+    def test_uplink_from_gone_client_dies(self):
+        churn = self.churn()
+        uplink = data_packet(src=CLIENT, dst=SERVER)
+        assert churn.judge(1.0, uplink) is None
+        assert churn.judge(2.5, uplink).reason == "churn"
+        assert churn.judge(4.5, uplink) is None
+
+    def test_receiver_gate(self):
+        churn = self.churn()
+        assert churn.can_hear(1.0, CLIENT)
+        assert not churn.can_hear(2.5, CLIENT)
+        assert churn.can_hear(4.5, CLIENT)
+        # Other stations always hear (broadcasts must reach them).
+        assert churn.can_hear(2.5, OTHER)
+
+
+class TestFaultPipeline:
+    def test_first_verdict_wins(self):
+        pipeline = FaultPipeline([
+            Outage((Window(0.0, 10.0),)),
+            IidLoss(0.999, np.random.default_rng(10)),
+        ])
+        assert pipeline.judge(5.0, data_packet()).reason == "outage"
+
+    def test_churn_precedes_injectors(self):
+        pipeline = FaultPipeline(
+            [Outage((Window(0.0, 10.0),))],
+            churn=Churn((ChurnEvent(0, 1.0),), lambda i: CLIENT),
+        )
+        uplink = data_packet(src=CLIENT, dst=SERVER)
+        assert pipeline.judge(5.0, uplink).reason == "churn"
+
+    def test_empty_pipeline_delivers(self):
+        pipeline = FaultPipeline([])
+        assert pipeline.judge(0.0, data_packet()) is None
+        assert pipeline.can_hear(0.0, CLIENT)

@@ -1,0 +1,162 @@
+"""FaultPlan validation, dict round-trips and the CLI spec parsers."""
+
+import pytest
+
+from repro.cli import parse_burst_loss, parse_churn, parse_window
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ChurnEvent,
+    ClockFaultSpec,
+    FaultPlan,
+    GilbertElliottSpec,
+    Window,
+)
+
+
+class TestWindow:
+    def test_half_open(self):
+        window = Window(1.0, 2.0)
+        assert window.contains(1.0)
+        assert window.contains(1.999)
+        assert not window.contains(2.0)
+        assert not window.contains(0.999)
+
+    @pytest.mark.parametrize("start,end", [(-1.0, 1.0), (2.0, 2.0), (3.0, 1.0)])
+    def test_rejects_degenerate(self, start, end):
+        with pytest.raises(ConfigurationError):
+            Window(start, end)
+
+
+class TestChurnEvent:
+    def test_gone_interval(self):
+        event = ChurnEvent(0, leave_at=2.0, rejoin_at=4.0)
+        assert not event.gone(1.9)
+        assert event.gone(2.0)
+        assert event.gone(3.9)
+        assert not event.gone(4.0)
+
+    def test_never_rejoins(self):
+        assert ChurnEvent(0, leave_at=1.0).gone(1e9)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"client_index": -1, "leave_at": 1.0},
+        {"client_index": 0, "leave_at": -0.5},
+        {"client_index": 0, "leave_at": 2.0, "rejoin_at": 2.0},
+        {"client_index": 0, "leave_at": 2.0, "rejoin_at": 1.0},
+    ])
+    def test_rejects_bad_events(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChurnEvent(**kwargs)
+
+
+class TestGilbertElliott:
+    def test_mean_burst_len(self):
+        assert GilbertElliottSpec(0.1, 0.25).mean_burst_len == 4.0
+        assert GilbertElliottSpec(0.1, 0.0).mean_burst_len == float("inf")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"p_good_bad": 1.5, "p_bad_good": 0.5},
+        {"p_good_bad": 0.5, "p_bad_good": -0.1},
+        {"p_good_bad": 0.5, "p_bad_good": 0.5, "loss_bad": 2.0},
+    ])
+    def test_rejects_bad_probabilities(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottSpec(**kwargs)
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize("kwargs", [
+        {"loss_rate": 1.0},
+        {"loss_rate": -0.1},
+        {"duplicate_rate": 1.0},
+        {"reorder_rate": -0.5},
+        {"corrupt_rate": 2.0},
+        {"fallback_after_misses": 0},
+        {"silence_timeout_s": 0.0},
+        {"silence_timeout_s": -1.0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs)
+
+    def test_lists_normalized_to_tuples(self):
+        plan = FaultPlan(
+            outages=[Window(1.0, 2.0)],
+            churn=[ChurnEvent(0, 1.0)],
+        )
+        assert isinstance(plan.outages, tuple)
+        assert isinstance(plan.churn, tuple)
+
+    def test_touches_medium(self):
+        assert not FaultPlan().touches_medium
+        assert not FaultPlan(
+            clock=ClockFaultSpec(skew_ppm=100.0), silence_timeout_s=1.0
+        ).touches_medium
+        assert FaultPlan(loss_rate=0.1).touches_medium
+        assert FaultPlan(burst_loss=GilbertElliottSpec(0.1, 0.5)).touches_medium
+        assert FaultPlan(schedule_blackouts=(Window(0.0, 1.0),)).touches_medium
+        assert FaultPlan(churn=(ChurnEvent(0, 1.0),)).touches_medium
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            loss_rate=0.01,
+            burst_loss=GilbertElliottSpec(0.05, 0.4, loss_bad=0.9),
+            duplicate_rate=0.02,
+            reorder_rate=0.03,
+            corrupt_rate=0.04,
+            outages=(Window(1.0, 2.0),),
+            schedule_blackouts=(Window(3.0, 4.0), Window(5.0, 6.0)),
+            clock=ClockFaultSpec(skew_ppm=150.0, jitter_s=0.001),
+            churn=(ChurnEvent(1, 2.0, 5.0), ChurnEvent(2, 3.0)),
+            fallback_after_misses=4,
+            silence_timeout_s=1.5,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_default_round_trip(self):
+        assert FaultPlan.from_dict(FaultPlan().to_dict()) == FaultPlan()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"loss_rate": 0.1, "gremlins": True})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict([1, 2, 3])
+
+    def test_from_dict_rejects_malformed_nested(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"burst_loss": {"nope": 1}})
+
+
+class TestCliParsers:
+    def test_parse_window(self):
+        assert parse_window("3.0:4.5") == Window(3.0, 4.5)
+
+    @pytest.mark.parametrize("text", ["3.0", "a:b", "4:3", ""])
+    def test_parse_window_rejects(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_window(text)
+
+    def test_parse_churn(self):
+        assert parse_churn("2:10") == ChurnEvent(2, 10.0)
+        assert parse_churn("2:10:25") == ChurnEvent(2, 10.0, 25.0)
+
+    @pytest.mark.parametrize("text", ["2", "x:1", "1:2:3:4", "0:5:4"])
+    def test_parse_churn_rejects(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_churn(text)
+
+    def test_parse_burst_loss(self):
+        assert parse_burst_loss("0.05:0.4") == GilbertElliottSpec(0.05, 0.4)
+        assert parse_burst_loss("0.05:0.4:0.9") == GilbertElliottSpec(
+            0.05, 0.4, loss_bad=0.9
+        )
+        assert parse_burst_loss("0.05:0.4:0.9:0.01") == GilbertElliottSpec(
+            0.05, 0.4, loss_good=0.01, loss_bad=0.9
+        )
+
+    @pytest.mark.parametrize("text", ["0.05", "a:b", "2.0:0.4", ""])
+    def test_parse_burst_loss_rejects(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_burst_loss(text)

@@ -1,0 +1,180 @@
+"""Fuzzing the wire decoders with seeded corruption.
+
+The proxy's control channel is plain UDP: anything on the network can
+deliver truncated, bit-flipped, or outright hostile payloads to the
+schedule port.  The contract of ``RuntimeSchedule.decode`` and
+``decode_control`` is total: every input either yields a fully
+validated value or raises :class:`SchedulingError` — never any other
+exception, and never a half-populated schedule.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.runtime.wire import (
+    RuntimeSchedule,
+    RuntimeSlot,
+    decode_control,
+    encode_mark,
+)
+
+N_ROUNDS = 300
+
+
+def make_schedule(rng):
+    n_slots = int(rng.integers(0, 5))
+    return RuntimeSchedule(
+        seq=int(rng.integers(0, 1 << 20)),
+        srp=float(rng.uniform(0.0, 1e6)),
+        interval_s=float(rng.uniform(0.01, 1.0)),
+        slots=tuple(
+            RuntimeSlot(
+                client_id=f"client-{i}",
+                offset_s=float(rng.uniform(0.0, 0.2)),
+                duration_s=float(rng.uniform(0.0, 0.05)),
+                nbytes=int(rng.integers(0, 1 << 16)),
+            )
+            for i in range(n_slots)
+        ),
+    )
+
+
+def assert_total(payload):
+    """decode() must return a valid schedule or raise SchedulingError."""
+    try:
+        schedule = RuntimeSchedule.decode(payload)
+    except SchedulingError:
+        return None
+    # Whatever survives decoding must be fully typed and in range —
+    # corruption may produce a different but still *valid* schedule
+    # (e.g. a flipped digit), never a partial one.
+    assert isinstance(schedule.seq, int) and schedule.seq >= 0
+    assert isinstance(schedule.srp, float) and math.isfinite(schedule.srp)
+    assert isinstance(schedule.interval_s, float)
+    assert schedule.interval_s > 0
+    for slot in schedule.slots:
+        assert isinstance(slot.client_id, str) and slot.client_id
+        assert isinstance(slot.offset_s, float) and slot.offset_s >= 0
+        assert isinstance(slot.duration_s, float) and slot.duration_s >= 0
+        assert isinstance(slot.nbytes, int) and slot.nbytes >= 0
+    return schedule
+
+
+class TestScheduleFuzz:
+    def test_truncation_never_crashes(self):
+        rng = np.random.default_rng(2004)
+        for _ in range(N_ROUNDS):
+            payload = make_schedule(rng).encode()
+            cut = int(rng.integers(0, len(payload)))
+            assert_total(payload[:cut])
+
+    def test_bit_flips_never_crash(self):
+        rng = np.random.default_rng(42)
+        for _ in range(N_ROUNDS):
+            payload = bytearray(make_schedule(rng).encode())
+            for _ in range(int(rng.integers(1, 9))):
+                pos = int(rng.integers(0, len(payload)))
+                payload[pos] ^= 1 << int(rng.integers(0, 8))
+            assert_total(bytes(payload))
+
+    def test_random_bytes_never_crash(self):
+        rng = np.random.default_rng(7)
+        for _ in range(N_ROUNDS):
+            payload = rng.integers(
+                0, 256, size=int(rng.integers(0, 200)), dtype=np.uint8
+            ).tobytes()
+            assert_total(payload)
+
+    def test_intact_payloads_round_trip(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            schedule = make_schedule(rng)
+            assert RuntimeSchedule.decode(schedule.encode()) == schedule
+
+
+class TestScheduleShapeAttacks:
+    """Well-formed JSON with a hostile shape must raise, not crash."""
+
+    @pytest.mark.parametrize("payload", [
+        b"5",
+        b'"schedule"',
+        b"null",
+        b"true",
+        b"[]",
+        b'[{"type": "schedule"}]',
+        b'{"type": "schedule"}',
+        b'{"type": "schedule", "seq": "3", "srp": 0, "interval_s": 0.1}',
+        b'{"type": "schedule", "seq": 3.5, "srp": 0, "interval_s": 0.1}',
+        b'{"type": "schedule", "seq": true, "srp": 0, "interval_s": 0.1}',
+        b'{"type": "schedule", "seq": -1, "srp": 0, "interval_s": 0.1}',
+        b'{"type": "schedule", "seq": 3, "srp": null, "interval_s": 0.1}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": 0}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": -0.1}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": 0.1,'
+        b' "slots": 9}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": 0.1,'
+        b' "slots": ["x"]}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": 0.1,'
+        b' "slots": [{}]}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": 0.1,'
+        b' "slots": [{"client_id": "", "offset_s": 0, "duration_s": 0,'
+        b' "nbytes": 0}]}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": 0.1,'
+        b' "slots": [{"client_id": "c", "offset_s": -1, "duration_s": 0,'
+        b' "nbytes": 0}]}',
+        b'{"type": "schedule", "seq": 3, "srp": 0, "interval_s": 0.1,'
+        b' "slots": [{"client_id": "c", "offset_s": 0, "duration_s": 0,'
+        b' "nbytes": 0.5}]}',
+    ])
+    def test_rejected_with_typed_error(self, payload):
+        with pytest.raises(SchedulingError):
+            RuntimeSchedule.decode(payload)
+
+    def test_nan_and_inf_rejected(self):
+        for value in ("NaN", "Infinity", "-Infinity"):
+            payload = (
+                '{"type": "schedule", "seq": 3, "srp": %s, "interval_s": 0.1}'
+                % value
+            ).encode()
+            # Python's json accepts these non-standard literals; the
+            # decoder must still refuse a non-finite SRP.
+            assert isinstance(json.loads(payload)["srp"], float)
+            with pytest.raises(SchedulingError):
+                RuntimeSchedule.decode(payload)
+
+    def test_missing_slots_defaults_to_empty(self):
+        schedule = RuntimeSchedule.decode(
+            b'{"type": "schedule", "seq": 3, "srp": 0.5, "interval_s": 0.1}'
+        )
+        assert schedule.slots == ()
+
+
+class TestControlFuzz:
+    def test_mark_corruption_never_crashes(self):
+        rng = np.random.default_rng(99)
+        for _ in range(N_ROUNDS):
+            payload = bytearray(
+                encode_mark(f"client-{rng.integers(0, 9)}",
+                            int(rng.integers(0, 1000)))
+            )
+            pos = int(rng.integers(0, len(payload)))
+            payload[pos] ^= 1 << int(rng.integers(0, 8))
+            try:
+                raw = decode_control(bytes(payload[:len(payload) - int(
+                    rng.integers(0, 4))]))
+            except SchedulingError:
+                continue
+            assert isinstance(raw, dict)
+            assert isinstance(raw["type"], str)
+
+    @pytest.mark.parametrize("payload", [
+        b"7", b"[]", b'"mark"', b"null",
+        b'{"type": 3}', b'{"type": null}', b"{}",
+    ])
+    def test_shape_attacks_rejected(self, payload):
+        with pytest.raises(SchedulingError):
+            decode_control(payload)
