@@ -1,0 +1,73 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets CI fail only on *new* findings: existing debt is
+recorded by fingerprint (rule + module path + message, independent of
+line numbers) with an occurrence count. When the debt is paid down the
+baseline should be regenerated with ``--write-baseline`` so the counts
+shrink monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    counts = Counter(f.fingerprint() for f in findings)
+    descriptions = {}
+    for finding in findings:
+        descriptions.setdefault(
+            finding.fingerprint(),
+            {
+                "rule": finding.rule,
+                "path": finding.module_path or finding.path,
+                "message": finding.message,
+                "count": 0,
+            },
+        )
+    for fingerprint, count in counts.items():
+        descriptions[fingerprint]["count"] = count
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(descriptions.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Fingerprint -> allowed count."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported version {payload.get('version')!r}"
+        )
+    return {
+        fingerprint: int(entry.get("count", 0))
+        for fingerprint, entry in payload.get("findings", {}).items()
+    }
+
+
+def filter_baselined(
+    findings: Sequence[Finding], allowed: dict[str, int]
+) -> list[Finding]:
+    """Drop up to ``allowed[fp]`` findings per fingerprint; keep the rest."""
+    budget = dict(allowed)
+    fresh: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            continue
+        fresh.append(finding)
+    return fresh

@@ -1,0 +1,63 @@
+"""Rendering findings as text, JSON, or GitHub workflow annotations."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [
+        f"{f.location()}: {f.rule} [{f.severity.value}] {f.message}"
+        for f in findings
+    ]
+    return "\n".join(lines)
+
+
+def render_statistics(findings: Sequence[Finding]) -> str:
+    counts = Counter(f.rule for f in findings)
+    lines = [f"{rule}  {count}" for rule, count in sorted(counts.items())]
+    lines.append(f"total  {len(findings)}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    rows = [
+        {
+            "path": f.path,
+            "module_path": f.module_path,
+            "line": f.line,
+            "col": f.col,
+            "rule": f.rule,
+            "severity": f.severity.value,
+            "message": f.message,
+            "fingerprint": f.fingerprint(),
+        }
+        for f in findings
+    ]
+    return json.dumps(rows, indent=2)
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """``::error``/``::warning`` workflow commands for GitHub Actions."""
+    lines = []
+    for f in findings:
+        level = "error" if f.severity is Severity.ERROR else "warning"
+        message = f"{f.rule}: {f.message}".replace("%", "%25").replace(
+            "\n", "%0A"
+        )
+        lines.append(
+            f"::{level} file={f.path},line={f.line},col={f.col + 1},"
+            f"title={f.rule}::{message}"
+        )
+    return "\n".join(lines)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}

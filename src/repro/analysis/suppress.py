@@ -1,0 +1,71 @@
+"""In-source suppression comments.
+
+Syntax (one per line, applies to findings reported on that line)::
+
+    some_code()  # repro: noqa[DET001] -- reason the finding is intended
+    other_code() # repro: noqa[ERR001,ERR002] -- multiple rules, one reason
+
+The engine tracks which suppressions actually matched a finding and
+reports the rest as ``SUP001`` (unused suppression) so stale waivers
+cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+    used: set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rules
+
+    def unused_rules(self) -> tuple[str, ...]:
+        return tuple(r for r in self.rules if r not in self.used)
+
+
+def _iter_comments(source: str) -> list[tuple[int, str]]:
+    """(line, text) for every real comment token (not strings/docstrings)."""
+    comments: list[tuple[int, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        # Unparseable files are reported by the engine as E000; any
+        # suppressions in them are moot.
+        pass
+    return comments
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number -> suppression for every noqa comment in ``source``."""
+    found: dict[int, Suppression] = {}
+    for lineno, text in _iter_comments(source):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        found[lineno] = Suppression(
+            line=lineno, rules=rules, reason=match.group("reason")
+        )
+    return found

@@ -86,10 +86,12 @@ def parse_churn(text: str):
     """'2:10' or '2:10:25' -> ChurnEvent(index, leave_at[, rejoin_at])."""
     from repro.faults import ChurnEvent
 
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ConfigurationError(
+            f"bad churn spec {text!r}: expected index:leave[:rejoin]"
+        )
     try:
-        parts = text.split(":")
-        if len(parts) not in (2, 3):
-            raise ValueError("expected index:leave[:rejoin]")
         index, leave = int(parts[0]), float(parts[1])
         rejoin = float(parts[2]) if len(parts) == 3 else None
         return ChurnEvent(index, leave, rejoin)
@@ -103,12 +105,15 @@ def parse_burst_loss(text: str):
 
     try:
         parts = [float(p) for p in text.split(":")]
-        if len(parts) not in (2, 3, 4):
-            raise ValueError("expected p_gb:p_bg[:loss_bad[:loss_good]]")
-        kwargs = dict(zip(("p_good_bad", "p_bad_good", "loss_bad", "loss_good"), parts))
-        return GilbertElliottSpec(**kwargs)
     except ValueError as exc:
         raise ConfigurationError(f"bad burst-loss spec {text!r}: {exc}") from exc
+    if len(parts) not in (2, 3, 4):
+        raise ConfigurationError(
+            f"bad burst-loss spec {text!r}: expected "
+            "p_gb:p_bg[:loss_bad[:loss_good]]"
+        )
+    kwargs = dict(zip(("p_good_bad", "p_bad_good", "loss_bad", "loss_good"), parts))
+    return GilbertElliottSpec(**kwargs)
 
 
 def build_fault_plan(args):
@@ -274,6 +279,49 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        RENDERERS,
+        AnalysisConfig,
+        analyze_paths,
+        filter_baselined,
+        load_baseline,
+        render_statistics,
+        write_baseline,
+    )
+
+    config = AnalysisConfig(
+        select=(
+            frozenset(args.select.split(",")) if args.select else None
+        ),
+        ignore=(
+            frozenset(args.ignore.split(",")) if args.ignore else frozenset()
+        ),
+    )
+    findings = analyze_paths(args.paths, config)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.write_baseline:
+        if baseline_path is None:
+            raise ConfigurationError("--write-baseline requires --baseline")
+        write_baseline(baseline_path, findings)
+        print(f"wrote baseline with {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    if baseline_path is not None and baseline_path.exists():
+        findings = filter_baselined(findings, load_baseline(baseline_path))
+
+    rendered = RENDERERS[args.format](findings)
+    if rendered:
+        print(rendered)
+    if args.statistics:
+        print(render_statistics(findings))
+    elif not findings and args.format == "text":
+        print("no findings")
+    return 1 if findings else 0
+
+
 def cmd_demo(args) -> int:
     import asyncio
 
@@ -389,6 +437,28 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--output", default="EXPERIMENTS.md")
     report.set_defaults(func=cmd_report)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the simulation-invariant static analysis (lint) engine",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze.add_argument("--format", choices=("text", "json", "github"),
+                         default="text")
+    analyze.add_argument("--select", default="",
+                         help="comma list of rule ids to run exclusively")
+    analyze.add_argument("--ignore", default="",
+                         help="comma list of rule ids to skip")
+    analyze.add_argument("--baseline", default=None, metavar="FILE",
+                         help="JSON baseline of grandfathered findings")
+    analyze.add_argument("--write-baseline", action="store_true",
+                         help="record current findings into --baseline")
+    analyze.add_argument("--statistics", action="store_true",
+                         help="append per-rule finding counts")
+    analyze.set_defaults(func=cmd_analyze)
 
     demo = sub.add_parser("demo", help="live asyncio proxy demo")
     demo.add_argument("--clients", type=int, default=2)

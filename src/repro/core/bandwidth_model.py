@@ -94,6 +94,6 @@ def calibrate(
     return LinearCostModel(overhead_s=overhead, per_byte_s=per_byte)
 
 
-def calibrate_tcp(medium: WirelessMedium, **kwargs) -> LinearCostModel:
+def calibrate_tcp(medium: WirelessMedium, **kwargs: int) -> LinearCostModel:
     """Calibration variant charging TCP header overhead."""
     return calibrate(medium, transport_header=TCP_HEADER, **kwargs)

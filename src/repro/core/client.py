@@ -37,18 +37,19 @@ from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.udp import UdpSocket
 from repro.sim.trace import TraceRecorder
+from repro.units import ms
 from repro.wnic.states import Wnic
 
 #: Gaps shorter than this are not worth a sleep/wake cycle (2 x the
 #: 2 ms wake penalty would outweigh the sleep savings).
-DEFAULT_MIN_SLEEP_GAP_S = 0.004
+DEFAULT_MIN_SLEEP_GAP_S = ms(4)
 #: How long past the predicted arrival to keep listening for a
 #: schedule before declaring it missed.
-DEFAULT_SCHEDULE_GRACE_S = 0.012
+DEFAULT_SCHEDULE_GRACE_S = ms(12)
 #: If a burst shows no data this long after the rendezvous wake, the
 #: slot is empty (e.g. a reused schedule whose queue has drained) and
 #: the client goes back to sleep instead of waiting for a mark.
-DEFAULT_BURST_NOSHOW_S = 0.010
+DEFAULT_BURST_NOSHOW_S = ms(10)
 #: Consecutive missed schedule broadcasts before the client falls back
 #: to always-listen mode.
 DEFAULT_FALLBACK_AFTER_MISSES = 3

@@ -24,12 +24,13 @@ from abc import ABC, abstractmethod
 
 from repro.core.schedule import BurstSlot, Schedule
 from repro.errors import ConfigurationError
+from repro.units import ms
 
 
 class DelayCompensator(ABC):
     """Strategy deciding when to transition the WNIC out of sleep."""
 
-    def __init__(self, early_s: float = 0.006) -> None:
+    def __init__(self, early_s: float = ms(6)) -> None:
         if early_s < 0:
             raise ConfigurationError(f"negative early amount: {early_s!r}")
         self.early_s = early_s
@@ -79,8 +80,8 @@ class AdaptiveCompensator(DelayCompensator):
     """
 
     def __init__(
-        self, early_s: float = 0.006, window: int = 16,
-        max_margin_s: float = 0.015,
+        self, early_s: float = ms(6), window: int = 16,
+        max_margin_s: float = ms(15),
     ) -> None:
         super().__init__(early_s)
         from collections import deque
@@ -125,7 +126,7 @@ class FixedClockCompensator(DelayCompensator):
     early (wasted energy) or late (missed packets).
     """
 
-    def __init__(self, early_s: float = 0.006, clock_offset_estimate_s: float = 0.0):
+    def __init__(self, early_s: float = ms(6), clock_offset_estimate_s: float = 0.0):
         super().__init__(early_s)
         self.clock_offset_estimate_s = clock_offset_estimate_s
 

@@ -24,7 +24,7 @@ ever shows server/client addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional, Protocol
 
 from repro.core.burster import Burster
 from repro.core.queues import ClientQueue
@@ -36,8 +36,15 @@ from repro.net.node import Interface, Node
 from repro.net.packet import Packet, TcpFlags
 from repro.net.tcp import TcpConnection
 from repro.net.udp import UdpSocket
-from repro.sim.core import Simulator
+from repro.sim.core import Event, Simulator
 from repro.sim.trace import TraceRecorder
+from repro.units import ms
+
+
+class SchedulerLike(Protocol):
+    """Any proxy-side scheduling policy: one simulation process."""
+
+    def run(self) -> Iterator[Event]: ...
 
 
 @dataclass
@@ -96,7 +103,7 @@ class TransparentProxy(Node):
         self._splits: dict[tuple[Endpoint, Endpoint], SplitConnection] = {}
         self._client_conns: dict[str, list[TcpConnection]] = {}
         self._schedule_socket = UdpSocket(self, SCHEDULE_PORT)
-        self.scheduler = None  # attached via attach_scheduler()
+        self.scheduler: Optional[SchedulerLike] = None  # via attach_scheduler()
         self.udp_packets_intercepted = 0
         self.tcp_connections_split = 0
         #: Last simulated time any uplink packet from each client was
@@ -107,7 +114,7 @@ class TransparentProxy(Node):
 
     # -- wiring ------------------------------------------------------------
 
-    def attach_scheduler(self, scheduler) -> None:
+    def attach_scheduler(self, scheduler: SchedulerLike) -> None:
         """Install the scheduling policy (Dynamic or Static)."""
         if self.scheduler is not None:
             raise ConfigurationError("proxy already has a scheduler")
@@ -121,9 +128,9 @@ class TransparentProxy(Node):
 
     def wire_routes(self, lan_side_ips: set[str]) -> None:
         """Route server addresses out the LAN side; clients out the air side."""
-        for ip in lan_side_ips:
+        for ip in sorted(lan_side_ips):
             self.add_route(ip, self.lan)
-        for ip in self.client_ips:
+        for ip in sorted(self.client_ips):
             self.add_route(ip, self.air)
 
     # -- queues -------------------------------------------------------------
@@ -136,7 +143,7 @@ class TransparentProxy(Node):
             self._queues[client_ip] = queue
         return queue
 
-    def iter_queues(self):
+    def iter_queues(self) -> list[tuple[str, ClientQueue]]:
         """(ip, queue) pairs in a deterministic order."""
         return sorted(self._queues.items())
 
@@ -167,7 +174,7 @@ class TransparentProxy(Node):
                 tcp_bytes += conn.unsent_bytes + conn.bytes_in_flight
         return udp_bytes, tcp_bytes
 
-    def kick_stalled(self, client_ip: str, stall_threshold_s: float = 0.05) -> int:
+    def kick_stalled(self, client_ip: str, stall_threshold_s: float = ms(50)) -> int:
         """Retransmit-now for this client's stalled connections.
 
         Called at the start of the client's burst slot. A connection

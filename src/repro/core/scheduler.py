@@ -20,19 +20,21 @@ the same layout — saving every client one schedule wake-up.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.bandwidth_model import LinearCostModel
 from repro.core.schedule import BurstSlot, Schedule
 from repro.errors import SchedulingError
+from repro.sim.core import Event
+from repro.units import ms, us
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.proxy import TransparentProxy
 
 #: Gap between consecutive burst slots.
-DEFAULT_SLOT_GAP_S = 0.0005
+DEFAULT_SLOT_GAP_S = us(500)
 #: Time reserved between the schedule broadcast and the first slot.
-DEFAULT_SCHEDULE_GUARD_S = 0.0015
+DEFAULT_SCHEDULE_GUARD_S = ms(1.5)
 
 
 class DynamicScheduler:
@@ -43,8 +45,8 @@ class DynamicScheduler:
         proxy: "TransparentProxy",
         cost_model: LinearCostModel,
         interval_s: Optional[float] = None,
-        min_interval_s: float = 0.1,
-        max_interval_s: float = 0.5,
+        min_interval_s: float = ms(100),
+        max_interval_s: float = ms(500),
         slot_gap_s: float = DEFAULT_SLOT_GAP_S,
         schedule_guard_s: float = DEFAULT_SCHEDULE_GUARD_S,
         reuse_schedules: bool = False,
@@ -256,7 +258,7 @@ class DynamicScheduler:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self):
+    def run(self) -> Iterator[Event]:
         """The proxy-side scheduling process (a simulation generator)."""
         sim = self.proxy.sim
         while True:

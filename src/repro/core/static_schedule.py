@@ -16,7 +16,7 @@ of roughly 10 %, 33 % and 56 % of the interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.core.bandwidth_model import LinearCostModel
 from repro.core.txguard import TransmitWakeGuard
@@ -24,7 +24,9 @@ from repro.errors import SchedulingError
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.udp import UdpSocket
+from repro.sim.core import Event
 from repro.sim.trace import TraceRecorder
+from repro.units import ms, us
 from repro.wnic.states import Wnic
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -111,8 +113,8 @@ def build_layout(
     interval_s: float,
     tcp_weight: float = 0.0,
     tcp_clients: Sequence[str] = (),
-    guard_s: float = 0.002,
-    slot_gap_s: float = 0.0005,
+    guard_s: float = ms(2),
+    slot_gap_s: float = us(500),
     epoch: float = 0.0,
 ) -> StaticLayout:
     """Equal per-client UDP slots after an optional leading TCP slot."""
@@ -155,7 +157,7 @@ class StaticScheduler:
         self._announce_socket = UdpSocket(proxy, STATIC_LAYOUT_PORT)
         self.intervals_run = 0
 
-    def run(self):
+    def run(self) -> Iterator[Event]:
         """The proxy-side process: announce once, then serve every interval."""
         sim = self.proxy.sim
         layout = self.layout
@@ -238,9 +240,9 @@ class StaticClient:
         self,
         node: Node,
         wnic: Wnic,
-        early_s: float = 0.006,
-        min_sleep_gap_s: float = 0.004,
-        slot_grace_s: float = 0.01,
+        early_s: float = ms(6),
+        min_sleep_gap_s: float = ms(4),
+        slot_grace_s: float = ms(10),
         trace: Optional[TraceRecorder] = None,
         wireless_iface: str = "wl0",
     ) -> None:
@@ -261,7 +263,7 @@ class StaticClient:
         #: empty this interval and the client sleeps early. (With a
         #: static schedule the proxy sends a client's burst at the very
         #: start of its slot, so a no-show is decisive quickly.)
-        self.noshow_grace_s = 0.008
+        self.noshow_grace_s = ms(8)
         node.taps.insert(0, self._watch_frames)
         UdpSocket(node, STATIC_LAYOUT_PORT, on_receive=self._on_layout)
         self.bursts_received = 0

@@ -16,14 +16,18 @@ a timer while the daemon sleeps).
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.net.node import Node
 from repro.net.packet import Packet, TcpFlags
+from repro.sim.core import Event
+from repro.units import ms
 from repro.wnic.states import Wnic
 
 #: How long after a stray (non-handshake) transmission to re-sleep.
-RESLEEP_DELAY_S = 0.002
+RESLEEP_DELAY_S = ms(2)
 #: Poll spacing while a handshake keeps the card up.
-HANDSHAKE_POLL_S = 0.002
+HANDSHAKE_POLL_S = ms(2)
 
 
 class TransmitWakeGuard:
@@ -79,7 +83,9 @@ class TransmitWakeGuard:
         if self.daemon_sleeping and not self.busy_connections():
             self.wnic.sleep()
 
-    def sleep_until(self, wake_at: float, min_sleep_gap_s: float):
+    def sleep_until(
+        self, wake_at: float, min_sleep_gap_s: float
+    ) -> Iterator[Event]:
         """Generator: sleep the card until ``wake_at`` (daemon helper).
 
         Defers the descent into sleep while handshakes are pending, and

@@ -12,7 +12,7 @@ contain tens of thousands of frames).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -53,7 +53,9 @@ def _validate_intervals(intervals: Sequence[Interval], label: str) -> np.ndarray
     return array
 
 
-def cumulative_time_fn(intervals: Sequence[Interval]):
+def cumulative_time_fn(
+    intervals: Sequence[Interval],
+) -> Callable[[object], np.ndarray]:
     """Return F where F(t) = total time covered by ``intervals`` before t.
 
     ``intervals`` must be sorted and disjoint (awake intervals from a

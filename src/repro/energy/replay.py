@@ -24,7 +24,7 @@ is faithful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.client import PowerAwareClient
 from repro.core.delay_comp import DelayCompensator
@@ -149,7 +149,7 @@ def sweep_early_amounts(
     client_ip: str,
     power: PowerModel,
     early_amounts_s: Sequence[float],
-    compensator_factory=None,
+    compensator_factory: Optional[Callable[[float], DelayCompensator]] = None,
     duration_s: Optional[float] = None,
 ) -> list[tuple[float, ReplayResult]]:
     """Figure 6 from one capture: replay several early amounts."""

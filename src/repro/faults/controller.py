@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro.core.delay_comp import DelayCompensator
+from repro.errors import ConfigurationError
 from repro.core.schedule import BurstSlot, Schedule
 from repro.faults.counters import FaultCounters
 from repro.faults.injectors import (
@@ -58,7 +59,7 @@ class DriftingCompensator(DelayCompensator):
     ) -> None:
         super().__init__(early_s=inner.early_s)
         if jitter_s > 0 and rng is None:
-            raise ValueError("clock jitter requires an rng")
+            raise ConfigurationError("clock jitter requires an rng")
         self.inner = inner
         self.skew = skew_ppm * 1e-6
         self.jitter_s = jitter_s

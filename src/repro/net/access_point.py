@@ -20,15 +20,16 @@ from repro.net.packet import Packet
 from repro.sim.core import Simulator
 from repro.sim.resources import Store
 from repro.sim.trace import TraceRecorder
+from repro.units import ms, us
 
 #: Default mean of the exponential forwarding jitter.
-DEFAULT_JITTER_MEAN_S = 0.0009
+DEFAULT_JITTER_MEAN_S = us(900)
 #: Default probability of a slow-path forwarding spike.
 DEFAULT_SPIKE_PROB = 0.03
 #: Default maximum extra delay of a spike (uniform on [0, max]).
-DEFAULT_SPIKE_MAX_S = 0.006
+DEFAULT_SPIKE_MAX_S = ms(6)
 #: Fixed base forwarding latency.
-DEFAULT_BASE_DELAY_S = 0.0003
+DEFAULT_BASE_DELAY_S = us(300)
 
 
 class AccessPoint(Node):

@@ -27,14 +27,14 @@ from repro.net.node import Interface
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
 from repro.sim.trace import TraceRecorder
-from repro.units import transmit_time
+from repro.units import ms, transmit_time
 
 #: Default nominal channel rate (802.11b).
 DEFAULT_RATE_BPS = 11e6
 #: Default fixed per-frame MAC/PHY overhead (preamble, SIFS, MAC ACK).
-DEFAULT_FRAME_OVERHEAD_S = 0.0008
+DEFAULT_FRAME_OVERHEAD_S = ms(0.8)
 #: Default upper bound of the uniform contention backoff.
-DEFAULT_MAX_BACKOFF_S = 0.0004
+DEFAULT_MAX_BACKOFF_S = ms(0.4)
 
 
 class WirelessMedium:

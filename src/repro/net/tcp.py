@@ -30,6 +30,7 @@ from typing import Callable, Optional
 
 from repro.errors import ConnectionError_, SocketError
 from repro.net.addr import Endpoint
+from repro.units import ms
 from repro.net.node import Node
 from repro.net.packet import MSS, Packet, TcpFlags
 
@@ -55,7 +56,7 @@ RTO_INITIAL = 1.0
 MAX_RETRIES = 10
 #: Delayed-ACK policy (RFC 1122): ACK at least every second full
 #: segment, or after this timer.
-DELAYED_ACK_S = 0.04
+DELAYED_ACK_S = ms(40)
 
 
 class TcpListener:

@@ -8,6 +8,8 @@ grep-able: writing ``ms(100)`` is harder to get wrong than ``0.1``.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 # --------------------------------------------------------------------------
 # Time
 # --------------------------------------------------------------------------
@@ -84,10 +86,10 @@ def transmit_time(size_bytes: int, rate_bps: float) -> float:
     """Serialization delay of ``size_bytes`` at ``rate_bps``.
 
     Raises:
-        ValueError: if the rate is not positive.
+        ConfigurationError: if the rate is not positive.
     """
     if rate_bps <= 0:
-        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+        raise ConfigurationError(f"rate must be positive, got {rate_bps!r}")
     return (size_bytes * 8.0) / rate_bps
 
 

@@ -1,0 +1,11 @@
+# repro: module-path=core/fake_api.py
+"""BAD: public surface without type annotations."""
+
+
+def burst_cost(nbytes):
+    return nbytes * 8
+
+
+class Burster:
+    def send(self, nbytes):
+        return nbytes

@@ -1,0 +1,17 @@
+# repro: module-path=core/fake_api.py
+"""GOOD: fully annotated public surface; private helpers are free."""
+
+
+def burst_cost(nbytes: int) -> int:
+    return nbytes * 8
+
+
+class Burster:
+    def __init__(self, rate_bps: float) -> None:
+        self.rate_bps = rate_bps
+
+    def send(self, nbytes: int) -> int:
+        return self._clip(nbytes)
+
+    def _clip(self, nbytes):
+        return max(0, nbytes)

@@ -1,0 +1,7 @@
+# repro: module-path=workloads/fake_draws.py
+"""BAD: module-level entropy instead of a named RngStream."""
+import random
+
+
+def draw() -> float:
+    return random.random()

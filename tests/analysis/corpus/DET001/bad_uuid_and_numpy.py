@@ -1,0 +1,12 @@
+# repro: module-path=experiments/fake_ids.py
+"""BAD: non-deterministic ids and ad-hoc numpy generators."""
+import numpy as np
+from uuid import uuid4
+
+
+def fresh_id() -> str:
+    return str(uuid4())
+
+
+def fresh_rng() -> "np.random.Generator":
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+# repro: module-path=workloads/fake_draws.py
+"""GOOD: all draws flow through a named, seeded stream."""
+from repro.sim.random import RngStreams
+
+
+def draw(streams: RngStreams) -> float:
+    return float(streams.get("fake-draws").random())

@@ -1,0 +1,12 @@
+# repro: module-path=sim/fake_clock.py
+"""BAD: reads the host clock inside simulated-time code."""
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def today() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,7 @@
+# repro: module-path=sim/fake_clock.py
+"""GOOD: time comes from the simulator's clock."""
+from repro.sim.core import Simulator
+
+
+def stamp(sim: Simulator) -> float:
+    return sim.now

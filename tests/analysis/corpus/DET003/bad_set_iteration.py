@@ -1,0 +1,11 @@
+# repro: module-path=core/fake_routes.py
+"""BAD: schedule-relevant iteration order taken from a set."""
+
+
+def route_order(client_ips: set[str]) -> list[str]:
+    return [ip for ip in client_ips]
+
+
+def wire(client_ips: set[str]) -> None:
+    for ip in client_ips:
+        print(ip)

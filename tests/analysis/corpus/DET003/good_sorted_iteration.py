@@ -1,0 +1,10 @@
+# repro: module-path=core/fake_routes.py
+"""GOOD: sets are sorted before their order can matter."""
+
+
+def route_order(client_ips: set[str]) -> list[str]:
+    return [ip for ip in sorted(client_ips)]
+
+
+def has_client(client_ips: set[str], ip: str) -> bool:
+    return ip in client_ips  # membership tests are order-free

@@ -1,0 +1,7 @@
+# repro: module-path=experiments/fake_config.py
+"""BAD: failures raised as anonymous builtin exceptions."""
+
+
+def check(interval_s: float) -> None:
+    if interval_s <= 0:
+        raise ValueError(f"bad interval: {interval_s!r}")

@@ -1,0 +1,8 @@
+# repro: module-path=experiments/fake_config.py
+"""GOOD: failures use the repro.errors taxonomy."""
+from repro.errors import ConfigurationError
+
+
+def check(interval_s: float) -> None:
+    if interval_s <= 0:
+        raise ConfigurationError(f"bad interval: {interval_s!r}")

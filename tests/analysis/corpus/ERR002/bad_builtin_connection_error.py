@@ -1,0 +1,9 @@
+# repro: module-path=net/fake_tcp.py
+"""BAD: sim code catching the builtin instead of ConnectionError_."""
+
+
+def poke(conn) -> None:
+    try:
+        conn.send(1)
+    except ConnectionError:
+        conn.reset()

@@ -1,0 +1,10 @@
+# repro: module-path=experiments/fake_runner.py
+"""BAD: a broad except that swallows every failure silently."""
+
+
+def run(step) -> bool:
+    try:
+        step()
+    except Exception:
+        return False
+    return True

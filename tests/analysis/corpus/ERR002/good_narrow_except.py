@@ -1,0 +1,18 @@
+# repro: module-path=experiments/fake_runner.py
+"""GOOD: taxonomy-scoped catch; broad catch re-raises."""
+from repro.errors import ReproError, SchedulingError
+
+
+def run(step) -> bool:
+    try:
+        step()
+    except ReproError:
+        return False
+    return True
+
+
+def guard(step) -> None:
+    try:
+        step()
+    except Exception as exc:
+        raise SchedulingError(f"step failed: {exc}") from exc

@@ -1,0 +1,10 @@
+# repro: module-path=sim/fake_worker.py
+"""BAD: real files, sockets and sleeps inside a sim process."""
+import socket
+import time
+
+
+def work(path: str) -> bytes:
+    time.sleep(0.1)
+    with open(path, "rb") as handle:
+        return handle.read()

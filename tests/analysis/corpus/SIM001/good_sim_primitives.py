@@ -1,0 +1,10 @@
+# repro: module-path=sim/fake_worker.py
+"""GOOD: the process advances virtual time by yielding events."""
+from typing import Iterator
+
+from repro.sim.core import Event, Simulator
+from repro.units import ms
+
+
+def work(sim: Simulator) -> Iterator[Event]:
+    yield sim.timeout(ms(100))

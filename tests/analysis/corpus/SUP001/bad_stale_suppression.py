@@ -1,0 +1,4 @@
+# repro: module-path=experiments/fake_waivers.py
+"""BAD: a waiver whose finding no longer exists."""
+
+INTERVAL_COUNT = 4  # repro: noqa[ERR001] -- stale waiver, nothing raised here

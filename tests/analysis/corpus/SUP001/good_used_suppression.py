@@ -1,0 +1,7 @@
+# repro: module-path=experiments/fake_waivers.py
+"""GOOD: the waiver matches a real finding and states a reason."""
+
+
+def check(flag: bool) -> None:
+    if flag:
+        raise ValueError("demo")  # repro: noqa[ERR001] -- fixture demonstrating a used waiver

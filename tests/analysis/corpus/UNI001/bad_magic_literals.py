@@ -1,0 +1,9 @@
+# repro: module-path=core/fake_timers.py
+"""BAD: bare sub-second floats and raw byte counts."""
+
+GUARD_S = 0.002
+BUFFER_BYTES = 65536
+
+
+def wait(poll_s: float = 0.004) -> float:
+    return poll_s

@@ -1,0 +1,10 @@
+# repro: module-path=core/fake_timers.py
+"""GOOD: every time/size constant names its unit."""
+from repro.units import kib, ms
+
+GUARD_S = ms(2)
+BUFFER_BYTES = kib(64)
+
+
+def wait(poll_s: float = ms(4)) -> float:
+    return poll_s

@@ -1,0 +1,81 @@
+"""End-to-end `python -m repro analyze` behavior and the repo gate."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def run(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_repo_tree_is_clean(capsys):
+    """The headline gate: the whole src tree has zero findings."""
+    code, out = run(["analyze", str(REPO / "src")], capsys)
+    assert code == 0, out
+    assert "no findings" in out
+
+
+def test_bad_corpus_fails(capsys):
+    code, out = run(["analyze", str(CORPUS)], capsys)
+    assert code == 1
+    assert "ERR001" in out
+
+
+def test_single_good_fixture_passes(capsys):
+    good = next(CORPUS.glob("*/good_*.py"))
+    code, _ = run(["analyze", str(good)], capsys)
+    assert code == 0
+
+
+def test_json_output(capsys):
+    bad = str(CORPUS / "ERR001" / "bad_generic_raise.py")
+    code, out = run(["analyze", bad, "--format", "json"], capsys)
+    assert code == 1
+    rows = json.loads(out)
+    assert any(r["rule"] == "ERR001" for r in rows)
+
+
+def test_github_output(capsys):
+    bad = str(CORPUS / "ERR001" / "bad_generic_raise.py")
+    code, out = run(["analyze", bad, "--format", "github"], capsys)
+    assert code == 1
+    assert out.startswith("::error ")
+
+
+def test_select_and_ignore(capsys):
+    bad = str(CORPUS / "SIM001" / "bad_blocking_io.py")
+    code, _ = run(["analyze", bad, "--select", "UNI001"], capsys)
+    assert code == 0
+    code, _ = run(["analyze", bad, "--ignore", "SIM001"], capsys)
+    assert code == 0
+
+
+def test_statistics_flag(capsys):
+    bad = str(CORPUS / "ERR001" / "bad_generic_raise.py")
+    code, out = run(["analyze", bad, "--statistics"], capsys)
+    assert code == 1
+    assert "total" in out
+
+
+def test_baseline_workflow(tmp_path, capsys):
+    """--write-baseline grandfathers findings; the next run passes."""
+    bad = str(CORPUS / "ERR001" / "bad_generic_raise.py")
+    baseline = tmp_path / "baseline.json"
+    code, _ = run(
+        ["analyze", bad, "--baseline", str(baseline), "--write-baseline"],
+        capsys,
+    )
+    assert code == 0
+    assert baseline.exists()
+    code, _ = run(["analyze", bad, "--baseline", str(baseline)], capsys)
+    assert code == 0
+    # Without the baseline the finding still fails the gate.
+    code, _ = run(["analyze", bad], capsys)
+    assert code == 1

@@ -1,0 +1,50 @@
+"""Self-test corpus: every rule must catch its bad snippet and pass its
+good snippet, so the rules themselves are regression-tested."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, UNUSED_SUPPRESSION_RULE, analyze_file
+
+CORPUS = Path(__file__).parent / "corpus"
+RULE_DIRS = sorted(p for p in CORPUS.iterdir() if p.is_dir())
+
+
+def test_corpus_covers_every_rule():
+    expected = set(RULES) | {UNUSED_SUPPRESSION_RULE}
+    assert {p.name for p in RULE_DIRS} == expected
+
+
+@pytest.mark.parametrize("rule_dir", RULE_DIRS, ids=lambda p: p.name)
+def test_every_rule_has_good_and_bad_fixtures(rule_dir):
+    assert list(rule_dir.glob("bad_*.py")), f"{rule_dir.name} has no bad fixture"
+    assert list(rule_dir.glob("good_*.py")), f"{rule_dir.name} has no good fixture"
+
+
+@pytest.mark.parametrize("rule_dir", RULE_DIRS, ids=lambda p: p.name)
+def test_bad_fixtures_are_flagged(rule_dir):
+    for bad in sorted(rule_dir.glob("bad_*.py")):
+        findings = analyze_file(bad)
+        rules_hit = {f.rule for f in findings}
+        assert rule_dir.name in rules_hit, (
+            f"{bad} should trigger {rule_dir.name}, got {rules_hit or 'nothing'}"
+        )
+
+
+@pytest.mark.parametrize("rule_dir", RULE_DIRS, ids=lambda p: p.name)
+def test_good_fixtures_are_clean(rule_dir):
+    for good in sorted(rule_dir.glob("good_*.py")):
+        findings = analyze_file(good)
+        assert not findings, (
+            f"{good} should be clean, got: "
+            + "; ".join(f"{f.rule}@{f.line} {f.message}" for f in findings)
+        )
+
+
+def test_bad_fixtures_carry_module_path_pragma():
+    """Scoped rules only fire because fixtures declare their location."""
+    for rule_dir in RULE_DIRS:
+        for fixture in sorted(rule_dir.glob("*.py")):
+            head = fixture.read_text().splitlines()[0]
+            assert "repro: module-path=" in head, fixture

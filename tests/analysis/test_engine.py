@@ -1,0 +1,145 @@
+"""Engine mechanics: suppressions, baseline, pragmas, select/ignore."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    EVERYWHERE,
+    PARSE_RULE,
+    UNUSED_SUPPRESSION_RULE,
+    AnalysisConfig,
+    analyze_source,
+    filter_baselined,
+    load_baseline,
+    module_path_for,
+    write_baseline,
+)
+from repro.analysis.suppress import parse_suppressions
+from repro.errors import ConfigurationError
+
+
+def analyze(source, module_path="experiments/fake.py", config=None):
+    return analyze_source(source, "fake.py", module_path, config)
+
+
+class TestSuppressions:
+    def test_noqa_suppresses_matching_rule(self):
+        src = 'raise ValueError("x")  # repro: noqa[ERR001] -- intentional\n'
+        assert analyze(src) == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        src = 'raise ValueError("x")  # repro: noqa[DET001] -- wrong rule\n'
+        rules = {f.rule for f in analyze(src)}
+        assert "ERR001" in rules
+        # ... and the mismatched waiver is itself reported as unused.
+        assert UNUSED_SUPPRESSION_RULE in rules
+
+    def test_multi_rule_noqa(self):
+        src = 'raise ValueError("x")  # repro: noqa[ERR001,DET001] -- both\n'
+        findings = analyze(src)
+        # ERR001 suppressed; DET001 waiver unused.
+        assert [f.rule for f in findings] == [UNUSED_SUPPRESSION_RULE]
+
+    def test_unused_suppression_reported(self):
+        src = "X = 1  # repro: noqa[ERR001] -- stale\n"
+        findings = analyze(src)
+        assert [f.rule for f in findings] == [UNUSED_SUPPRESSION_RULE]
+        assert "ERR001" in findings[0].message
+
+    def test_reason_is_parsed(self):
+        found = parse_suppressions(
+            "x = 1  # repro: noqa[ERR001] -- because reasons\n"
+        )
+        assert found[1].reason == "because reasons"
+        assert found[1].rules == ("ERR001",)
+
+    def test_noqa_inside_string_literal_is_ignored(self):
+        src = 's = "# repro: noqa[ERR001] -- not a comment"\n'
+        assert parse_suppressions(src) == {}
+
+    def test_disabled_rule_waiver_not_reported_unused(self):
+        src = 'raise ValueError("x")  # repro: noqa[ERR001] -- intentional\n'
+        config = AnalysisConfig(ignore=frozenset({"ERR001"}))
+        assert analyze(src, config=config) == []
+
+
+class TestEngine:
+    def test_syntax_error_reported_as_parse_finding(self):
+        findings = analyze("def broken(:\n")
+        assert [f.rule for f in findings] == [PARSE_RULE]
+
+    def test_module_path_pragma_overrides_location(self):
+        src = (
+            "# repro: module-path=sim/fake.py\n"
+            "import socket\n"
+        )
+        assert {f.rule for f in analyze(src, module_path="outside.py")} == {
+            "SIM001"
+        }
+
+    def test_select_runs_only_listed_rules(self):
+        src = "import random\nraise ValueError('x')\n"
+        config = AnalysisConfig(select=frozenset({"DET001"}))
+        rules = {f.rule for f in analyze(src, config=config)}
+        assert rules == {"DET001"}
+
+    def test_everywhere_config_ignores_scopes(self):
+        src = "import socket\n"
+        assert {f.rule for f in analyze(src, "outside.py", EVERYWHERE)} == {
+            "SIM001"
+        }
+
+    def test_module_path_for(self):
+        from pathlib import Path
+
+        assert module_path_for(
+            Path("src/repro/core/scheduler.py")
+        ) == "core/scheduler.py"
+        assert module_path_for(Path("elsewhere/thing.py")) == "thing.py"
+
+    def test_findings_sorted_by_location(self):
+        src = "raise ValueError('b')\nraise ValueError('a')\n"
+        findings = analyze(src)
+        assert [f.line for f in findings] == [1, 2]
+
+
+class TestBaseline:
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        src = "raise ValueError('x')\n"
+        findings = analyze(src)
+        assert findings
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        allowed = load_baseline(path)
+        assert filter_baselined(findings, allowed) == []
+
+    def test_new_findings_survive_filter(self, tmp_path):
+        old = analyze("raise ValueError('x')\n")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, old)
+        allowed = load_baseline(path)
+        new = analyze("raise ValueError('x')\nraise RuntimeError('y')\n")
+        fresh = filter_baselined(new, allowed)
+        assert len(fresh) == 1
+        assert "RuntimeError" in fresh[0].message
+
+    def test_count_budget_is_respected(self, tmp_path):
+        one = analyze("raise ValueError('x')\n")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, one)
+        allowed = load_baseline(path)
+        two = analyze("raise ValueError('x')\nraise ValueError('x')\n")
+        assert len(filter_baselined(two, allowed)) == 1
+
+    def test_corrupt_baseline_raises_configuration_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)

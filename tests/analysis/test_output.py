@@ -1,0 +1,49 @@
+"""Output renderers: text, JSON, GitHub annotations."""
+
+import json
+
+from repro.analysis import analyze_source
+from repro.analysis.output import render_github, render_json, render_text
+from repro.analysis.findings import Finding, Severity
+
+
+def findings():
+    return analyze_source(
+        "raise ValueError('x')\n", "pkg/mod.py", "experiments/mod.py"
+    )
+
+
+def test_text_format():
+    text = render_text(findings())
+    assert "pkg/mod.py:1:0: ERR001 [error]" in text
+
+
+def test_json_format_is_machine_readable():
+    rows = json.loads(render_json(findings()))
+    assert rows[0]["rule"] == "ERR001"
+    assert rows[0]["path"] == "pkg/mod.py"
+    assert rows[0]["line"] == 1
+    assert rows[0]["severity"] == "error"
+    assert len(rows[0]["fingerprint"]) == 16
+
+
+def test_github_format_emits_workflow_commands():
+    out = render_github(findings())
+    assert out.startswith("::error file=pkg/mod.py,line=1,col=1,title=ERR001::")
+
+
+def test_github_escapes_newlines_and_percent():
+    finding = Finding(
+        path="a.py", line=1, col=0, rule="X001",
+        severity=Severity.WARNING, message="50% broken\nbadly",
+    )
+    out = render_github([finding])
+    assert "\n" not in out
+    assert "%0A" in out and "%25" in out
+    assert out.startswith("::warning ")
+
+
+def test_empty_renders_empty():
+    assert render_text([]) == ""
+    assert json.loads(render_json([])) == []
+    assert render_github([]) == ""

@@ -89,7 +89,7 @@ class TestCompensatorWiring:
         ) > inner.burst_wake(schedule, arrival, schedule.slots[0])
 
     def test_jitter_requires_rng(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             DriftingCompensator(
                 AdaptiveCompensator(), skew_ppm=0.0, jitter_s=0.001
             )

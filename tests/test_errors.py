@@ -1,0 +1,55 @@
+"""Error-taxonomy properties: every class is a catchable ReproError."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import ReproError
+
+ALL_ERRORS = [
+    obj
+    for _, obj in inspect.getmembers(errors, inspect.isclass)
+    if issubclass(obj, Exception)
+]
+
+
+def test_taxonomy_is_nonempty():
+    assert len(ALL_ERRORS) >= 10
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+def test_every_error_is_a_repro_error(cls):
+    assert issubclass(cls, ReproError)
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+def test_catchable_and_constructible(cls):
+    with pytest.raises(ReproError):
+        raise cls("boom")
+    assert "boom" in str(cls("boom"))
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+def test_no_error_shadows_a_builtin(cls):
+    """Taxonomy names must not mask builtins (ConnectionError_ etc.)."""
+    import builtins
+
+    assert not hasattr(builtins, cls.__name__) or cls.__name__ == "Exception"
+
+
+def test_connection_error_is_not_the_builtin():
+    assert not issubclass(ConnectionError, errors.ConnectionError_)
+    assert not issubclass(errors.ConnectionError_, ConnectionError)
+
+
+def test_hierarchy_structure():
+    assert issubclass(errors.ProcessError, errors.SimulationError)
+    assert issubclass(errors.AddressError, errors.NetworkError)
+    assert issubclass(errors.ConnectionError_, errors.NetworkError)
+    assert issubclass(errors.SocketError, errors.NetworkError)
+
+
+def test_every_error_has_docstring():
+    for cls in ALL_ERRORS:
+        assert cls.__doc__, f"{cls.__name__} lacks a docstring"
