@@ -3,22 +3,57 @@
 Every benchmark prints the paper-style rows *and* persists them as JSON
 under ``benchmarks/results/`` so EXPERIMENTS.md can be regenerated and
 diffed without re-running the sweeps.
+
+Two files per benchmark:
+
+* ``<name>.json`` — the latest rows (overwritten each run; what the
+  report generator reads);
+* ``BENCH_<name>.json`` — the *trajectory*: one timestamped entry
+  appended per run, so perf/behaviour drift is visible across commits.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any
+from datetime import datetime, timezone
+from typing import Any, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def save_results(name: str, rows: Any) -> pathlib.Path:
-    """Persist ``rows`` (list/dict) as benchmarks/results/<name>.json."""
+def save_results(
+    name: str, rows: Any, meta: Optional[dict] = None
+) -> pathlib.Path:
+    """Persist ``rows`` (list/dict) as benchmarks/results/<name>.json
+    and append a timestamped entry to the BENCH_<name>.json trajectory."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(rows, indent=2, default=str) + "\n")
+    append_trajectory(name, rows, meta)
+    return path
+
+
+def append_trajectory(
+    name: str, rows: Any, meta: Optional[dict] = None
+) -> pathlib.Path:
+    """Append one run's rows to benchmarks/results/BENCH_<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    try:
+        history = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        history = []
+    entry: dict = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "rows": rows,
+    }
+    if meta:
+        entry["meta"] = meta
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2, default=str) + "\n")
     return path
 
 

@@ -1,0 +1,14 @@
+"""Everything under benchmarks/ is tier ``bench`` (see pyproject
+addopts); CI and developers opt in with ``-m bench``."""
+
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)

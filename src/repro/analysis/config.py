@@ -15,7 +15,7 @@ from repro.analysis.findings import Severity
 
 #: Directories whose code runs under simulated time. Wall-clock reads,
 #: blocking I/O, and ambient entropy are forbidden here.
-SIM_SCOPE: tuple[str, ...] = ("sim/", "core/", "net/", "faults/")
+SIM_SCOPE: tuple[str, ...] = ("sim/", "core/", "net/", "faults/", "obs/")
 
 #: Directories whose iteration order can reach scheduling decisions.
 ORDER_SCOPE: tuple[str, ...] = ("core/", "net/", "faults/")
@@ -29,6 +29,10 @@ API_SCOPE: tuple[str, ...] = ("core/", "energy/")
 #: Modules allowed to touch entropy sources (the blessed RNG factory).
 ENTROPY_ALLOWED: tuple[str, ...] = ("sim/random.py",)
 
+#: Modules allowed to call ``TraceRecorder.record`` directly — the
+#: Recorder facade itself and the trace module it wraps.
+OBS_ALLOWED: tuple[str, ...] = ("obs/", "sim/trace.py")
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -39,6 +43,7 @@ class AnalysisConfig:
     severities: Mapping[str, Severity] = field(default_factory=dict)
 
     entropy_allowed: tuple[str, ...] = ENTROPY_ALLOWED
+    obs_allowed: tuple[str, ...] = OBS_ALLOWED
     sim_scope: tuple[str, ...] = SIM_SCOPE
     order_scope: tuple[str, ...] = ORDER_SCOPE
     units_scope: tuple[str, ...] = UNITS_SCOPE
@@ -56,6 +61,7 @@ class AnalysisConfig:
 #: where the snippet file lives.
 EVERYWHERE = AnalysisConfig(
     entropy_allowed=(),
+    obs_allowed=(),
     sim_scope=("",),
     order_scope=("",),
     units_scope=("",),

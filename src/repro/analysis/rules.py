@@ -8,6 +8,7 @@ grouped by invariant family:
 - ``ERR``: error taxonomy (``repro.errors`` classes, narrow excepts)
 - ``SIM``: simulated-time purity (no blocking I/O in sim processes)
 - ``API``: typed public surface (annotations on public functions)
+- ``OBS``: observability (telemetry flows through the Recorder facade)
 
 Suppress a finding in place with ``# repro: noqa[RULE] -- reason``.
 """
@@ -543,3 +544,36 @@ def api001_public_annotations(ctx: ModuleContext) -> Iterator[RawFinding]:
                     yield from walk_body(statement.body, inside_class=True)
 
     yield from walk_body(ctx.tree.body, inside_class=False)
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — one instrumentation path
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "OBS001",
+    "telemetry through the Recorder facade",
+    "Components must emit telemetry via repro.obs.Recorder "
+    "(event/span/inc/observe); direct TraceRecorder.record calls "
+    "bypass metrics and spans and fork the observability stream.",
+)
+def obs001_recorder_facade(ctx: ModuleContext) -> Iterator[RawFinding]:
+    for prefix in ctx.config.obs_allowed:
+        if ctx.module_path.startswith(prefix):
+            return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "record"):
+            continue
+        base = _dotted(func.value)
+        last = base.split(".")[-1] if base else ""
+        if last in {"trace", "_trace"}:
+            yield (
+                node.lineno, node.col_offset,
+                f"direct {base}.record(...) bypasses the obs facade; use "
+                "Recorder.event() (repro.obs) so metrics and spans stay "
+                "in one stream",
+            )

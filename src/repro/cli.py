@@ -64,11 +64,16 @@ def parse_interval(text: str):
     text = text.strip().lower()
     if text in ("variable", "var", "auto"):
         return None
-    if text.endswith("ms"):
-        return float(text[:-2]) / 1000.0
-    if text.endswith("s"):
-        return float(text[:-1])
-    return float(text)
+    try:
+        if text.endswith("ms"):
+            return float(text[:-2]) / 1000.0
+        if text.endswith("s"):
+            return float(text[:-1])
+        return float(text)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bad interval {text!r}: use seconds, '<n>ms', or 'variable'"
+        ) from exc
 
 
 def parse_window(text: str):
@@ -178,10 +183,11 @@ def parse_clients(text: str):
 # ---------------------------------------------------------------------------
 
 
-def cmd_run(args) -> int:
-    from repro.experiments.runner import ExperimentConfig, run_experiment
+def build_experiment_config(args):
+    """Assemble an ExperimentConfig from the shared run/trace options."""
+    from repro.experiments.runner import ExperimentConfig
 
-    config = ExperimentConfig(
+    return ExperimentConfig(
         clients=parse_clients(args.clients),
         burst_interval_s=parse_interval(args.interval),
         scheduler=args.scheduler,
@@ -192,7 +198,30 @@ def cmd_run(args) -> int:
         reuse_schedules=args.reuse,
         faults=build_fault_plan(args),
     )
-    result = run_experiment(config)
+
+
+def _export_observability(result, args) -> None:
+    """Write whichever observability artifacts were requested."""
+    from pathlib import Path
+
+    from repro.obs import chrome_trace_json, events_jsonl, metrics_json
+
+    if getattr(args, "metrics_out", None):
+        Path(args.metrics_out).write_text(metrics_json(result.obs))
+        print(f"wrote {args.metrics_out}")
+    if getattr(args, "events_out", None):
+        Path(args.events_out).write_text(events_jsonl(result.obs))
+        print(f"wrote {args.events_out}")
+    if getattr(args, "trace_out", None):
+        Path(args.trace_out).write_text(chrome_trace_json(result.obs))
+        print(f"wrote {args.trace_out}")
+
+
+def cmd_run(args) -> int:
+    from repro.experiments.runner import run_experiment
+
+    result = run_experiment(build_experiment_config(args))
+    _export_observability(result, args)
     rows = [
         {
             "client": report.name,
@@ -225,6 +254,23 @@ def cmd_run(args) -> int:
                 f"slots reclaimed {result.slots_reclaimed} "
                 f"restored {result.slots_restored}"
             )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one experiment purely to export its timeline artifacts."""
+    from repro.experiments.runner import run_experiment
+
+    if not args.trace_out:
+        args.trace_out = "trace.json"
+    result = run_experiment(build_experiment_config(args))
+    _export_observability(result, args)
+    events = len(result.obs.trace.all()) if result.obs.trace else 0
+    print(
+        f"simulated {result.duration_s:.1f}s: {events} events, "
+        f"{len(result.obs.spans)} spans "
+        f"(open the trace file in chrome://tracing or ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -365,57 +411,80 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_run_options(command) -> None:
+        """Experiment options shared by ``run`` and ``trace``."""
+        command.add_argument(
+            "--clients", default="video:56," * 9 + "video:56",
+            help="comma list: video:<kbps> | web[:pages] | ftp[:bytes]",
+        )
+        command.add_argument("--interval", default="500ms",
+                             help="burst interval (e.g. 100ms, 0.5, variable)")
+        command.add_argument("--scheduler", choices=("dynamic", "static"),
+                             default="dynamic")
+        command.add_argument("--tcp-weight", type=float, default=0.0,
+                             help="static TCP slot fraction (Figure 7)")
+        command.add_argument("--duration", type=float, default=119.0)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--early-ms", type=float, default=6.0)
+        command.add_argument("--reuse", action="store_true",
+                             help="enable §5 schedule reuse")
+        faults = command.add_argument_group(
+            "fault injection (deterministic under --seed; see repro.faults)"
+        )
+        faults.add_argument("--fault-loss", type=float, default=0.0,
+                            metavar="RATE", help="iid wireless frame loss rate")
+        faults.add_argument("--fault-burst-loss", default="",
+                            metavar="PGB:PBG[:LBAD[:LGOOD]]",
+                            help="Gilbert-Elliott bursty loss parameters")
+        faults.add_argument("--fault-dup", type=float, default=0.0,
+                            metavar="RATE", help="frame duplication rate")
+        faults.add_argument("--fault-reorder", type=float, default=0.0,
+                            metavar="RATE", help="frame reordering rate")
+        faults.add_argument("--fault-corrupt", type=float, default=0.0,
+                            metavar="RATE",
+                            help="frame corruption (CRC-fail) rate")
+        faults.add_argument("--fault-outage", action="append", default=[],
+                            metavar="START:END",
+                            help="AP outage window (repeatable)")
+        faults.add_argument("--fault-blackout", action="append", default=[],
+                            metavar="START:END",
+                            help="schedule-broadcast blackout window "
+                                 "(repeatable)")
+        faults.add_argument("--fault-churn", action="append", default=[],
+                            metavar="CLIENT:LEAVE[:REJOIN]",
+                            help="client churn event (repeatable)")
+        faults.add_argument("--fault-clock-skew-ppm", type=float, default=0.0,
+                            help="client clock rate error in ppm")
+        faults.add_argument("--fault-clock-jitter-ms", type=float, default=0.0,
+                            help="client wake-up timer jitter stddev (ms)")
+        faults.add_argument("--fault-fallback-misses", type=int, default=3,
+                            metavar="N",
+                            help="missed broadcasts before always-listen "
+                                 "fallback")
+        faults.add_argument("--fault-silence-timeout", type=float,
+                            default=None, metavar="SECONDS",
+                            help="reclaim slots of clients silent this long")
+        obs = command.add_argument_group(
+            "observability export (deterministic: same seed, same bytes)"
+        )
+        obs.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write the canonical metrics JSON snapshot")
+        obs.add_argument("--events-out", default=None, metavar="FILE",
+                         help="write the event-stream JSONL")
+        obs.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write a chrome://tracing / Perfetto timeline")
+
     run = sub.add_parser("run", help="run one experiment")
-    run.add_argument(
-        "--clients", default="video:56," * 9 + "video:56",
-        help="comma list: video:<kbps> | web[:pages] | ftp[:bytes]",
-    )
-    run.add_argument("--interval", default="500ms",
-                     help="burst interval (e.g. 100ms, 0.5, variable)")
-    run.add_argument("--scheduler", choices=("dynamic", "static"),
-                     default="dynamic")
-    run.add_argument("--tcp-weight", type=float, default=0.0,
-                     help="static TCP slot fraction (Figure 7)")
-    run.add_argument("--duration", type=float, default=119.0)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--early-ms", type=float, default=6.0)
-    run.add_argument("--reuse", action="store_true",
-                     help="enable §5 schedule reuse")
-    faults = run.add_argument_group(
-        "fault injection (deterministic under --seed; see repro.faults)"
-    )
-    faults.add_argument("--fault-loss", type=float, default=0.0,
-                        metavar="RATE", help="iid wireless frame loss rate")
-    faults.add_argument("--fault-burst-loss", default="",
-                        metavar="PGB:PBG[:LBAD[:LGOOD]]",
-                        help="Gilbert-Elliott bursty loss parameters")
-    faults.add_argument("--fault-dup", type=float, default=0.0,
-                        metavar="RATE", help="frame duplication rate")
-    faults.add_argument("--fault-reorder", type=float, default=0.0,
-                        metavar="RATE", help="frame reordering rate")
-    faults.add_argument("--fault-corrupt", type=float, default=0.0,
-                        metavar="RATE", help="frame corruption (CRC-fail) rate")
-    faults.add_argument("--fault-outage", action="append", default=[],
-                        metavar="START:END",
-                        help="AP outage window (repeatable)")
-    faults.add_argument("--fault-blackout", action="append", default=[],
-                        metavar="START:END",
-                        help="schedule-broadcast blackout window (repeatable)")
-    faults.add_argument("--fault-churn", action="append", default=[],
-                        metavar="CLIENT:LEAVE[:REJOIN]",
-                        help="client churn event (repeatable)")
-    faults.add_argument("--fault-clock-skew-ppm", type=float, default=0.0,
-                        help="client clock rate error in ppm")
-    faults.add_argument("--fault-clock-jitter-ms", type=float, default=0.0,
-                        help="client wake-up timer jitter stddev (ms)")
-    faults.add_argument("--fault-fallback-misses", type=int, default=3,
-                        metavar="N",
-                        help="missed broadcasts before always-listen fallback")
-    faults.add_argument("--fault-silence-timeout", type=float, default=None,
-                        metavar="SECONDS",
-                        help="reclaim slots of clients silent this long")
+    add_run_options(run)
     run.add_argument("--json", action="store_true")
     run.set_defaults(func=cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment and export its observability timeline",
+    )
+    add_run_options(trace)
+    trace.set_defaults(func=cmd_trace)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=("4", "5", "6", "7"))

@@ -23,6 +23,8 @@ from repro.core.queues import ClientQueue, QueueEntry
 from repro.core.schedule import BurstSlot
 from repro.net.packet import Packet
 from repro.net.tcp import TcpConnection
+from repro.obs.metrics import RATIO_BUCKETS
+from repro.obs.recorder import Recorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -69,9 +71,15 @@ class MarkingController:
 class Burster:
     """Transmits one client's burst for a slot and marks its last packet."""
 
-    def __init__(self, node: "Node", trace: Optional["TraceRecorder"] = None):
+    def __init__(
+        self,
+        node: "Node",
+        trace: Optional["TraceRecorder"] = None,
+        obs: Optional[Recorder] = None,
+    ):
         self.node = node
-        self.trace = trace
+        self.obs = obs if obs is not None else Recorder.wrap(trace)
+        self.trace = self.obs.trace if trace is None else trace
         self._controllers: dict[TcpConnection, MarkingController] = {}
         self.bursts_sent = 0
         self.bytes_burst = 0
@@ -134,11 +142,19 @@ class Burster:
             sent += nbytes
         self.bursts_sent += 1
         self.bytes_burst += sent
-        if self.trace is not None:
-            self.trace.record(
-                self.node.sim.now, "proxy.burst",
-                client=queue.client_ip, bytes=sent, entries=len(entries),
-                allotted=slot.bytes_allotted,
+        self.obs.event(
+            self.node.sim.now, "proxy.burst",
+            client=queue.client_ip, bytes=sent, entries=len(entries),
+            allotted=slot.bytes_allotted,
+        )
+        self.obs.inc("proxy.bursts", client=queue.client_ip)
+        self.obs.inc("proxy.burst_bytes", sent, client=queue.client_ip)
+        if slot.bytes_allotted > 0:
+            self.obs.observe(
+                "proxy.burst_fill_ratio",
+                min(1.0, sent / slot.bytes_allotted),
+                buckets=RATIO_BUCKETS,
+                client=queue.client_ip,
             )
         return sent
 

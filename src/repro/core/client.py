@@ -36,6 +36,7 @@ from repro.errors import SchedulingError
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.udp import UdpSocket
+from repro.obs.recorder import Recorder
 from repro.sim.trace import TraceRecorder
 from repro.units import ms
 from repro.wnic.states import Wnic
@@ -69,6 +70,7 @@ class PowerAwareClient:
         wireless_iface: str = "wl0",
         enforce_sleep_drops: bool = True,
         fallback_after_misses: int = DEFAULT_FALLBACK_AFTER_MISSES,
+        obs: Optional[Recorder] = None,
     ) -> None:
         if fallback_after_misses < 1:
             raise SchedulingError(
@@ -78,7 +80,13 @@ class PowerAwareClient:
         self.sim = node.sim
         self.wnic = wnic
         self.compensator = compensator or AdaptiveCompensator()
-        self.trace = trace
+        if obs is not None:
+            self.obs = obs
+        elif trace is not None:
+            self.obs = Recorder.wrap(trace)
+        else:
+            self.obs = node.obs
+        self.trace = self.obs.trace if trace is None else trace
         self.min_sleep_gap_s = min_sleep_gap_s
         self.schedule_grace_s = schedule_grace_s
         self.fallback_after_misses = fallback_after_misses
@@ -142,11 +150,11 @@ class PowerAwareClient:
         arrival = self.sim.now
         self.schedules_heard += 1
         self.compensator.observe_arrival(schedule, arrival)
-        if self.trace is not None:
-            self.trace.record(
-                arrival, "client.schedule-heard", client=self.node.ip,
-                seq=schedule.seq,
-            )
+        self.obs.event(
+            arrival, "client.schedule-heard", client=self.node.ip,
+            seq=schedule.seq,
+        )
+        self.obs.inc("client.schedules_heard", client=self.node.ip)
         if self._awaiting_mark:
             # Paper case 1: ignore (queue) until the marked packet shows
             # up — but a *second* schedule supersedes a lost mark, so a
@@ -213,16 +221,20 @@ class PowerAwareClient:
         got_mark = yield from self._await_mark(deadline, noshow)
         self._awaiting_mark = False
         first = self._burst_first_frame
+        self.obs.span(
+            wake_time, self.sim.now, "burst", f"client {self.node.ip}",
+            got_mark=got_mark, replay=replay, got_data=first is not None,
+        )
         if first is not None:
             self.bursts_received += 1
             self.early_wait_s += max(0.0, first - wake_time)
             if not got_mark:
                 self.marks_missed += 1
-                if self.trace is not None:
-                    self.trace.record(
-                        self.sim.now, "client.mark-missed",
-                        client=self.node.ip,
-                    )
+                self.obs.event(
+                    self.sim.now, "client.mark-missed",
+                    client=self.node.ip,
+                )
+                self.obs.inc("client.marks_missed", client=self.node.ip)
         else:
             # Nothing arrived: an empty slot (reused schedule, drained
             # queue). The no-show window was wasted high-power time.
@@ -281,20 +293,20 @@ class PowerAwareClient:
             self.max_consecutive_misses = max(
                 self.max_consecutive_misses, consecutive
             )
-            if self.trace is not None:
-                self.trace.record(
-                    self.sim.now, "client.schedule-missed",
-                    client=self.node.ip, consecutive=consecutive,
-                )
+            self.obs.event(
+                self.sim.now, "client.schedule-missed",
+                client=self.node.ip, consecutive=consecutive,
+            )
+            self.obs.inc("client.schedules_missed", client=self.node.ip)
             if consecutive >= self.fallback_after_misses:
                 if not self.in_fallback:
                     self.in_fallback = True
                     self.fallbacks += 1
-                    if self.trace is not None:
-                        self.trace.record(
-                            self.sim.now, "client.fallback",
-                            client=self.node.ip, misses=consecutive,
-                        )
+                    self.obs.event(
+                        self.sim.now, "client.fallback",
+                        client=self.node.ip, misses=consecutive,
+                    )
+                    self.obs.inc("client.fallbacks", client=self.node.ip)
                 result = yield from self._await_schedule(deadline=None)
                 break
             predicted += schedule.interval
@@ -304,10 +316,8 @@ class PowerAwareClient:
         if self.in_fallback:
             self.in_fallback = False
             self.resyncs += 1
-            if self.trace is not None:
-                self.trace.record(
-                    self.sim.now, "client.resync", client=self.node.ip,
-                )
+            self.obs.event(self.sim.now, "client.resync", client=self.node.ip)
+            self.obs.inc("client.resyncs", client=self.node.ip)
         self.miss_recovery_s += self.sim.now - recovery_start
         return result
 

@@ -36,6 +36,7 @@ from repro.net.node import Interface, Node
 from repro.net.packet import Packet, TcpFlags
 from repro.net.tcp import TcpConnection
 from repro.net.udp import UdpSocket
+from repro.obs.recorder import Recorder
 from repro.sim.core import Event, Simulator
 from repro.sim.trace import TraceRecorder
 from repro.units import ms
@@ -77,6 +78,7 @@ class TransparentProxy(Node):
         client_ips: set[str],
         trace: Optional[TraceRecorder] = None,
         tcp_mode: str = "split",
+        obs: Optional[Recorder] = None,
     ) -> None:
         """Args:
         tcp_mode: "split" (the paper's design: terminated + spoofed
@@ -85,7 +87,7 @@ class TransparentProxy(Node):
             design, kept for the ablation), or "bridge" (TCP flows
             through untouched).
         """
-        super().__init__(sim, name, ip, trace=trace)
+        super().__init__(sim, name, ip, trace=trace, obs=obs)
         if not client_ips:
             raise ConfigurationError("proxy needs at least one client ip")
         if tcp_mode not in ("split", "passthrough", "bridge"):
@@ -98,7 +100,7 @@ class TransparentProxy(Node):
         self.add_route(BROADCAST_IP, self.air)
         self.taps.append(self._intercept)
         self.spoof_table = SpoofTable()
-        self.burster = Burster(self, trace=trace)
+        self.burster = Burster(self, obs=self.obs)
         self._queues: dict[str, ClientQueue] = {}
         self._splits: dict[tuple[Endpoint, Endpoint], SplitConnection] = {}
         self._client_conns: dict[str, list[TcpConnection]] = {}
@@ -217,12 +219,12 @@ class TransparentProxy(Node):
         self._schedule_socket.broadcast(
             schedule.wire_payload, SCHEDULE_PORT, meta=schedule.as_meta()
         )
-        if self.trace is not None:
-            self.trace.record(
-                self.sim.now, "proxy.schedule",
-                seq=schedule.seq, slots=len(schedule.slots),
-                interval=schedule.interval,
-            )
+        self.obs.event(
+            self.sim.now, "proxy.schedule",
+            seq=schedule.seq, slots=len(schedule.slots),
+            interval=schedule.interval,
+        )
+        self.obs.inc("proxy.schedules_broadcast")
 
     # -- interception (the IPQ analog) -----------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 from repro.core.bandwidth_model import LinearCostModel
 from repro.core.schedule import BurstSlot, Schedule
 from repro.errors import SchedulingError
+from repro.obs.metrics import BYTES_BUCKETS, RATIO_BUCKETS, SECONDS_BUCKETS
 from repro.sim.core import Event
 from repro.units import ms, us
 
@@ -133,22 +134,28 @@ class DynamicScheduler:
             if silent and ip not in self._silenced:
                 self._silenced.add(ip)
                 self.slots_reclaimed += 1
-                if self.proxy.trace is not None:
-                    self.proxy.trace.record(
-                        now, "scheduler.reclaim", client=ip,
-                        silent_s=now - last_heard,
-                    )
+                self.proxy.obs.event(
+                    now, "scheduler.reclaim", client=ip,
+                    silent_s=now - last_heard,
+                )
+                self.proxy.obs.inc("scheduler.slots_reclaimed", client=ip)
             elif not silent and ip in self._silenced:
                 self._silenced.discard(ip)
                 self.slots_restored += 1
-                if self.proxy.trace is not None:
-                    self.proxy.trace.record(
-                        now, "scheduler.restore", client=ip,
-                    )
+                self.proxy.obs.event(now, "scheduler.restore", client=ip)
+                self.proxy.obs.inc("scheduler.slots_restored", client=ip)
 
     def build_schedule(self, srp: float) -> Schedule:
         """Snapshot the queues and construct the schedule for one interval."""
         self._update_silenced()
+        obs = self.proxy.obs
+        for ip, _queue in self.proxy.iter_queues():
+            obs.observe(
+                "scheduler.queue_bytes",
+                self.proxy.scheduling_backlog(ip),
+                buckets=BYTES_BUCKETS,
+                client=ip,
+            )
         pending = [
             (ip, *self.proxy.scheduling_backlog_by_kind(ip))
             for ip, _queue in self.proxy.iter_queues()
@@ -261,8 +268,15 @@ class DynamicScheduler:
     def run(self) -> Iterator[Event]:
         """The proxy-side scheduling process (a simulation generator)."""
         sim = self.proxy.sim
+        planned_srp: Optional[float] = None
         while True:
             srp = sim.now
+            if planned_srp is not None:
+                self.proxy.obs.observe(
+                    "scheduler.srp_lateness_s",
+                    max(0.0, srp - planned_srp),
+                    buckets=SECONDS_BUCKETS,
+                )
             schedule = self.build_schedule(srp)
             repeat = False
             if self.reuse_schedules and not self.is_variable:
@@ -280,6 +294,11 @@ class DynamicScheduler:
             self.proxy.broadcast_schedule(schedule)
             self.schedules_sent += 1
             self.seq += 1
+            self.proxy.obs.span(
+                schedule.srp, schedule.next_srp, "interval", "proxy",
+                seq=schedule.seq, slots=len(schedule.slots),
+            )
+            planned_srp = schedule.next_srp
             yield from self._execute_interval(schedule)
             if repeat:
                 # Replay the same relative layout without a broadcast.
@@ -287,13 +306,31 @@ class DynamicScheduler:
                 self.seq += 1
                 shifted = self._shift_schedule(schedule, schedule.interval)
                 self._last_layout = None  # force a fresh broadcast next
+                self.proxy.obs.inc("scheduler.schedules_reused")
+                self.proxy.obs.span(
+                    shifted.srp, shifted.next_srp, "interval", "proxy",
+                    seq=shifted.seq, slots=len(shifted.slots), reused=True,
+                )
+                planned_srp = shifted.next_srp
                 yield from self._execute_interval(shifted)
 
     def _execute_interval(self, schedule: Schedule):
         sim = self.proxy.sim
+        obs = self.proxy.obs
         for slot in schedule.slots:
             if slot.rendezvous > sim.now:
                 yield sim.timeout(slot.rendezvous - sim.now)
+            obs.observe(
+                "scheduler.slot_lateness_s",
+                max(0.0, sim.now - slot.rendezvous),
+                buckets=SECONDS_BUCKETS,
+                client=slot.client_ip,
+            )
+            obs.span(
+                slot.rendezvous, slot.rendezvous + slot.duration,
+                "slot", f"client {slot.client_ip}",
+                seq=schedule.seq, bytes_allotted=slot.bytes_allotted,
+            )
             queue = self.proxy.queue_for(slot.client_ip)
             # Only kick when recovery is truly stuck: no progress for
             # well over one interval (ordinary ACK clocking pauses for
@@ -301,7 +338,14 @@ class DynamicScheduler:
             self.proxy.kick_stalled(
                 slot.client_ip, stall_threshold_s=1.5 * schedule.interval
             )
-            self.proxy.burster.burst(queue, slot)
+            sent = self.proxy.burster.burst(queue, slot)
+            if slot.bytes_allotted > 0:
+                obs.observe(
+                    "scheduler.slot_utilization",
+                    min(1.0, sent / slot.bytes_allotted),
+                    buckets=RATIO_BUCKETS,
+                    client=slot.client_ip,
+                )
             self.proxy.finish_drained_splits(slot.client_ip)
         if schedule.next_srp > sim.now:
             yield sim.timeout(schedule.next_srp - sim.now)

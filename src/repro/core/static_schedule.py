@@ -24,6 +24,7 @@ from repro.errors import SchedulingError
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.udp import UdpSocket
+from repro.obs.recorder import Recorder
 from repro.sim.core import Event
 from repro.sim.trace import TraceRecorder
 from repro.units import ms, us
@@ -182,6 +183,10 @@ class StaticScheduler:
             start = epoch + self.intervals_run * layout.interval
             if start > sim.now:
                 yield sim.timeout(start - sim.now)
+            self.proxy.obs.span(
+                start, start + layout.interval, "interval", "proxy",
+                index=self.intervals_run, static=True,
+            )
             yield from self._serve_interval(start)
             self.intervals_run += 1
 
@@ -224,6 +229,10 @@ class StaticScheduler:
             at = start + slot.offset
             if at > sim.now:
                 yield sim.timeout(at - sim.now)
+            self.proxy.obs.span(
+                at, at + slot.duration, "slot",
+                f"client {slot.client_ip}", static=True,
+            )
             queue = self.proxy.queue_for(slot.client_ip)
             allotment = self.cost_model.bytes_for(slot.duration)
             entries = queue.pop_up_to(allotment, kind="udp")
@@ -245,6 +254,7 @@ class StaticClient:
         slot_grace_s: float = ms(10),
         trace: Optional[TraceRecorder] = None,
         wireless_iface: str = "wl0",
+        obs: Optional[Recorder] = None,
     ) -> None:
         self.node = node
         self.sim = node.sim
@@ -252,7 +262,13 @@ class StaticClient:
         self.early_s = early_s
         self.min_sleep_gap_s = min_sleep_gap_s
         self.slot_grace_s = slot_grace_s
-        self.trace = trace
+        if obs is not None:
+            self.obs = obs
+        elif trace is not None:
+            self.obs = Recorder.wrap(trace)
+        else:
+            self.obs = node.obs
+        self.trace = self.obs.trace if trace is None else trace
         node.interfaces[wireless_iface].rx_gate = wnic.can_receive
         self._tx_guard = TransmitWakeGuard(node, wnic)
         self._layout: Optional[StaticLayout] = None

@@ -35,6 +35,7 @@ from repro.net.addr import BROADCAST_IP, Endpoint
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.sniffer import FrameRecord
+from repro.obs.recorder import SimRecorder
 from repro.sim import Simulator, TraceRecorder
 from repro.wnic.power import PowerModel
 from repro.wnic.states import Wnic
@@ -89,11 +90,12 @@ def replay_policy(
 
     sim = Simulator()
     trace = TraceRecorder()
-    node = Node(sim, f"replay-{client_ip}", client_ip, trace=trace)
+    recorder = SimRecorder(trace=trace)
+    node = Node(sim, f"replay-{client_ip}", client_ip, obs=recorder)
     node.add_interface("wl0")
-    wnic = Wnic(sim, node.name, trace=trace)
+    wnic = Wnic(sim, node.name, obs=recorder)
     daemon = PowerAwareClient(
-        node, wnic, compensator, trace=trace, **(client_kwargs or {})
+        node, wnic, compensator, obs=recorder, **(client_kwargs or {})
     )
 
     delivered = {"n": 0}
@@ -111,7 +113,7 @@ def replay_policy(
         else:
             missed["n"] += 1
             if frame.payload_size > 0 and not frame.broadcast:
-                trace.record(
+                recorder.event(
                     sim.now, "medium.miss",
                     dst=client_ip, proto=frame.proto,
                     size=frame.wire_size, payload=frame.payload_size,

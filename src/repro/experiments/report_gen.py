@@ -359,6 +359,59 @@ def generate_report(results_dir: pathlib.Path) -> str:
             "",
         ]
 
+    overhead = _load(results_dir, "obs_overhead")
+    if overhead:
+        sections += [
+            "## Observability overhead",
+            "",
+            "Wall-clock cost of the instrumentation facade on the "
+            "schedule-reuse workload (min of 3 runs per mode; `null` = "
+            "NullRecorder hooks, `trace` = pre-obs baseline, `full` = "
+            "trace + metrics + spans). The NullRecorder budget is 5%.",
+            "",
+            _table(
+                overhead,
+                ["t_null_s", "t_trace_s", "t_full_s",
+                 "null_overhead_pct", "full_overhead_pct"],
+            ),
+            "",
+        ]
+
+    sections += [
+        "## Inspecting a run's timeline (Perfetto)",
+        "",
+        "Every run can export its observability stream; the exports are "
+        "deterministic (same `(plan, seed)` → byte-identical files — "
+        "pinned by the golden suite under `tests/obs/goldens/`).",
+        "",
+        "```bash",
+        "# a Figure-4-style run: 10 video clients, 500 ms bursts",
+        "python -m repro trace \\",
+        "    --clients video:56,video:56,video:56,video:56,video:56,"
+        "video:56,video:56,video:56,video:56,video:56 \\",
+        "    --interval 500ms --duration 30 --seed 1 "
+        "--trace-out figure4.trace.json",
+        "",
+        "# or alongside a normal run",
+        "python -m repro run --clients video:56,web --interval 100ms \\",
+        "    --duration 10 --metrics-out metrics.json "
+        "--events-out events.jsonl --trace-out timeline.json",
+        "```",
+        "",
+        "Open the trace file at <https://ui.perfetto.dev> (or "
+        "`chrome://tracing`): one track per client plus `proxy` and "
+        "`medium` rows. Schedule intervals and per-client burst slots "
+        "render as slices on the proxy/client tracks, client burst "
+        "phases and WNIC awake stretches show when each card was "
+        "actually up, and medium frames appear as transmission slices — "
+        "so an under-filled burst or a late wake-up is visible at a "
+        "glance. The metrics snapshot (`--metrics-out`) carries the "
+        "aggregate view: queue depths, burst fill ratios, slot "
+        "utilization, schedule lateness, WNIC residency and fault-drop "
+        "counters.",
+        "",
+    ]
+
     return "\n".join(sections)
 
 

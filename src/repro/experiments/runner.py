@@ -23,6 +23,7 @@ from repro.energy.report import ClientReport, ExperimentSummary, summarize
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan
 from repro.net.addr import Endpoint
+from repro.obs import NULL_RECORDER, Recorder
 from repro.units import mib
 from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
 from repro.workloads.ftp import FTP_PORT, FtpClientApp, FtpServerApp
@@ -89,6 +90,10 @@ class ExperimentConfig:
     enforce_sleep_drops: bool = True
     #: False leaves clients naive (always awake) — baselines/ablations.
     power_aware_clients: bool = True
+    #: Observability mode: "full", "trace" (rows only), or "off"
+    #: (NullRecorder). Only consulted when ``scenario`` is None;
+    #: an explicit ScenarioConfig carries its own obs_mode.
+    obs_mode: str = "full"
 
     def __post_init__(self) -> None:
         if self.scheduler not in ("dynamic", "static"):
@@ -120,6 +125,10 @@ class ExperimentResult:
     #: Burst slots reclaimed from / restored to silent clients.
     slots_reclaimed: int = 0
     slots_restored: int = 0
+    #: Deterministic metrics snapshot (None unless obs_mode == "full").
+    metrics: Optional[dict] = None
+    #: The run's recorder, for exporting events/timelines postmortem.
+    obs: Recorder = NULL_RECORDER
 
     @property
     def clients(self) -> list[ClientReport]:
@@ -160,7 +169,8 @@ def mixed(
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one experiment end to end and analyze it."""
     scenario_config = config.scenario or ScenarioConfig(
-        n_clients=len(config.clients), seed=config.seed
+        n_clients=len(config.clients), seed=config.seed,
+        obs_mode=config.obs_mode,
     )
     if scenario_config.n_clients != len(config.clients):
         raise ConfigurationError(
@@ -232,7 +242,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                     handle.index, compensator
                 )
             handle.daemon = PowerAwareClient(
-                handle.node, handle.wnic, compensator, trace=scenario.trace,
+                handle.node, handle.wnic, compensator, obs=scenario.obs,
                 enforce_sleep_drops=config.enforce_sleep_drops,
                 fallback_after_misses=(
                     plan.fallback_after_misses
@@ -243,7 +253,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         else:
             handle.daemon = StaticClient(
                 handle.node, handle.wnic, early_s=config.early_s,
-                trace=scenario.trace,
+                obs=scenario.obs,
             )
 
     # -- workloads ------------------------------------------------------------
@@ -380,6 +390,31 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     video_reports = [r for r in reports if r.kind == "video"]
     tcp_reports = [r for r in reports if r.kind in ("web", "ftp")]
     drop_totals = scenario.counters.totals()
+
+    # -- final observability rollups ----------------------------------------
+    obs = scenario.obs
+    obs.gauge_set("sim.duration_s", sim.now)
+    for handle in scenario.clients:
+        awake = handle.wnic.awake_time(sim.now)
+        obs.gauge_set(
+            "wnic.residency_s", awake,
+            client=handle.node.ip, state="awake",
+        )
+        obs.gauge_set(
+            "wnic.residency_s", sim.now - awake,
+            client=handle.node.ip, state="sleep",
+        )
+        obs.gauge_set(
+            "wnic.wake_count", handle.wnic.wake_count,
+            client=handle.node.ip,
+        )
+    for reason, count in sorted(drop_totals.items()):
+        obs.inc("drops", count, reason=reason)
+    metrics = (
+        obs.metrics.snapshot()
+        if obs.metrics is not None and getattr(obs, "record_metrics", False)
+        else None
+    )
     return ExperimentResult(
         config=config,
         reports=reports,
@@ -396,4 +431,6 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         fault_counters=drop_totals,
         slots_reclaimed=getattr(scheduler, "slots_reclaimed", 0),
         slots_restored=getattr(scheduler, "slots_restored", 0),
+        metrics=metrics,
+        obs=obs,
     )

@@ -20,9 +20,11 @@ from repro.faults import FaultController, FaultCounters, FaultPlan
 from repro.net.access_point import AccessPoint
 from repro.net.link import Link
 from repro.net.medium import WirelessMedium
+from repro.errors import ConfigurationError
 from repro.net.node import Node
 from repro.net.packet import reset_packet_ids
 from repro.net.sniffer import MonitoringStation
+from repro.obs import NULL_RECORDER, Recorder, SimRecorder
 from repro.sim import RngStreams, Simulator, TraceRecorder
 from repro.units import mbps, ms
 from repro.wnic.states import Wnic
@@ -60,6 +62,10 @@ class ScenarioConfig:
     tcp_mode: str = "split"  # see TransparentProxy
     #: Optional deterministic fault-injection plan (see repro.faults).
     faults: Optional[FaultPlan] = None
+    #: Observability mode: "full" (trace + metrics + spans), "trace"
+    #: (trace rows only, the pre-obs baseline), or "off" (NullRecorder;
+    #: no trace, no metrics — postmortem analysis degrades gracefully).
+    obs_mode: str = "full"
 
 
 @dataclass
@@ -79,7 +85,7 @@ class Scenario:
     config: ScenarioConfig
     sim: Simulator
     streams: RngStreams
-    trace: TraceRecorder
+    trace: Optional[TraceRecorder]
     medium: WirelessMedium
     ap: AccessPoint
     proxy: TransparentProxy
@@ -91,6 +97,8 @@ class Scenario:
     counters: FaultCounters = None
     #: Installed fault controller, or None when no plan was given.
     faults: Optional[FaultController] = None
+    #: The shared instrumentation recorder (NULL_RECORDER when off).
+    obs: Recorder = NULL_RECORDER
 
     @property
     def video_server(self) -> Node:
@@ -111,7 +119,17 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     reset_packet_ids()
     sim = Simulator()
     streams = RngStreams(seed=config.seed)
-    trace = TraceRecorder()
+    if config.obs_mode == "full":
+        recorder: Recorder = SimRecorder(trace=TraceRecorder())
+    elif config.obs_mode == "trace":
+        recorder = SimRecorder(
+            trace=TraceRecorder(), record_metrics=False, record_spans=False
+        )
+    elif config.obs_mode == "off":
+        recorder = NULL_RECORDER
+    else:
+        raise ConfigurationError(f"unknown obs_mode: {config.obs_mode!r}")
+    trace = recorder.trace
     counters = FaultCounters()
 
     client_ips = {client_ip(i) for i in range(config.n_clients)}
@@ -131,14 +149,14 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         frame_overhead_s=config.medium_frame_overhead_s,
         max_backoff_s=config.medium_backoff_s,
         rng=streams.get("medium-backoff"),
-        trace=trace,
+        obs=recorder,
         drop=drop,
         counters=counters,
     )
     ap = AccessPoint(
         sim, "ap", AP_IP,
         rng=streams.get("ap-jitter"),
-        trace=trace,
+        obs=recorder,
         jitter_mean_s=config.ap_jitter_mean_s,
         spike_prob=config.ap_spike_prob,
         spike_max_s=config.ap_spike_max_s,
@@ -150,14 +168,14 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
 
     # -- proxy and wired segments --------------------------------------------
     proxy = TransparentProxy(
-        sim, "proxy", PROXY_IP, client_ips, trace=trace,
+        sim, "proxy", PROXY_IP, client_ips, obs=recorder,
         tcp_mode=config.tcp_mode,
     )
     Link(
         sim, config.wired_rate_bps, config.wired_latency_s, counters=counters
     ).attach(proxy.air, ap.wired)
 
-    hub = Node(sim, "lan-hub", "10.0.2.254", trace=trace)
+    hub = Node(sim, "lan-hub", "10.0.2.254", obs=recorder)
     hub.forwarding = True
     hub_proxy_iface = hub.add_interface("uplink")
     Link(
@@ -167,7 +185,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
 
     servers: dict[str, Node] = {}
     for server_addr in config.servers:
-        server = Node(sim, f"server-{server_addr}", server_addr, trace=trace)
+        server = Node(sim, f"server-{server_addr}", server_addr, obs=recorder)
         server_iface = server.add_interface("eth0")
         hub_iface = hub.add_interface(f"port-{server_addr}")
         Link(
@@ -185,11 +203,11 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     clients: list[ClientHandle] = []
     for index in range(config.n_clients):
         ip = client_ip(index)
-        node = Node(sim, f"client-{index}", ip, trace=trace)
+        node = Node(sim, f"client-{index}", ip, obs=recorder)
         iface = node.add_interface("wl0")
         medium.attach(iface)
         node.set_default_route(iface)
-        wnic = Wnic(sim, node.name, trace=trace)
+        wnic = Wnic(sim, node.name, obs=recorder)
         clients.append(ClientHandle(index=index, node=node, wnic=wnic))
 
     # -- fault injection ----------------------------------------------------
@@ -217,4 +235,5 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         lan_hub=hub,
         counters=counters,
         faults=controller,
+        obs=recorder,
     )

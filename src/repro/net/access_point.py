@@ -17,6 +17,8 @@ import numpy as np
 from repro.net.addr import BROADCAST_IP
 from repro.net.node import Interface, Node
 from repro.net.packet import Packet
+from repro.obs.metrics import DEPTH_BUCKETS
+from repro.obs.recorder import Recorder
 from repro.sim.core import Simulator
 from repro.sim.resources import Store
 from repro.sim.trace import TraceRecorder
@@ -46,8 +48,9 @@ class AccessPoint(Node):
         jitter_mean_s: float = DEFAULT_JITTER_MEAN_S,
         spike_prob: float = DEFAULT_SPIKE_PROB,
         spike_max_s: float = DEFAULT_SPIKE_MAX_S,
+        obs: Optional[Recorder] = None,
     ) -> None:
-        super().__init__(sim, name, ip, trace=trace)
+        super().__init__(sim, name, ip, trace=trace, obs=obs)
         self.forwarding = True
         self.rng = rng
         self.base_delay_s = base_delay_s
@@ -80,8 +83,15 @@ class AccessPoint(Node):
         self.packets_forwarded += 1
         if in_iface is self.wired:
             self._downlink.put(packet)
-            self.max_downlink_depth = max(
-                self.max_downlink_depth, len(self._downlink)
+            depth = len(self._downlink)
+            self.max_downlink_depth = max(self.max_downlink_depth, depth)
+            self.obs.observe(
+                "ap.downlink_depth", depth, buckets=DEPTH_BUCKETS,
+                ap=self.name,
+            )
+            self.obs.gauge_set(
+                "ap.max_downlink_depth", self.max_downlink_depth,
+                ap=self.name,
             )
         else:
             self._uplink.put(packet)

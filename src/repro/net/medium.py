@@ -25,6 +25,8 @@ from repro.errors import NetworkError
 from repro.faults.counters import FaultCounters
 from repro.net.node import Interface
 from repro.net.packet import Packet
+from repro.obs.metrics import BYTES_BUCKETS
+from repro.obs.recorder import Recorder
 from repro.sim.core import Simulator
 from repro.sim.trace import TraceRecorder
 from repro.units import ms, transmit_time
@@ -50,6 +52,7 @@ class WirelessMedium:
         trace: Optional[TraceRecorder] = None,
         drop: Optional[Callable[[Packet], bool]] = None,
         counters: Optional[FaultCounters] = None,
+        obs: Optional[Recorder] = None,
     ) -> None:
         if rate_bps <= 0:
             raise NetworkError(f"medium rate must be positive: {rate_bps!r}")
@@ -58,7 +61,8 @@ class WirelessMedium:
         self.frame_overhead_s = frame_overhead_s
         self.max_backoff_s = max_backoff_s
         self.rng = rng
-        self.trace = trace
+        self.obs = obs if obs is not None else Recorder.wrap(trace)
+        self.trace = self.obs.trace if trace is None else trace
         self.drop = drop
         self.counters = counters if counters is not None else FaultCounters()
         #: Optional fault-injection pipeline (see :mod:`repro.faults`);
@@ -125,26 +129,24 @@ class WirelessMedium:
             self.busy_time += sim.now - start
             if self.drop is not None and self.drop(packet):
                 self.counters.incr("medium.channel_drop")
-                if self.trace is not None:
-                    self.trace.record(
-                        sim.now, "medium.drop.channel",
-                        src=packet.src.ip, dst=packet.dst.ip,
-                        size=packet.wire_size,
-                    )
+                self.obs.event(
+                    sim.now, "medium.drop.channel",
+                    src=packet.src.ip, dst=packet.dst.ip,
+                    size=packet.wire_size,
+                )
                 continue
             if self.faults is not None:
                 verdict = self.faults.judge(sim.now, packet)
                 if verdict is not None:
                     self.counters.incr(f"faults.{verdict.reason}")
                     if verdict.action == "drop":
-                        if self.trace is not None:
-                            self.trace.record(
-                                sim.now, "medium.drop.fault",
-                                reason=verdict.reason,
-                                src=packet.src.ip, dst=packet.dst.ip,
-                                size=packet.wire_size,
-                                broadcast=packet.is_broadcast,
-                            )
+                        self.obs.event(
+                            sim.now, "medium.drop.fault",
+                            reason=verdict.reason,
+                            src=packet.src.ip, dst=packet.dst.ip,
+                            size=packet.wire_size,
+                            broadcast=packet.is_broadcast,
+                        )
                         continue
                     if verdict.action == "reorder":
                         # Requeue behind everything currently waiting:
@@ -163,18 +165,22 @@ class WirelessMedium:
     def _deliver(
         self, src_iface: Interface, packet: Packet, start: float, end: float
     ) -> None:
-        if self.trace is not None:
-            self.trace.record(
-                end, "medium.frame",
-                start=start, end=end,
-                src=packet.src.ip, dst=packet.dst.ip,
-                src_port=packet.src.port, dst_port=packet.dst.port,
-                proto=packet.proto, size=packet.wire_size,
-                payload=packet.payload_size, marked=packet.tos_marked,
-                broadcast=packet.is_broadcast,
-                sender=src_iface.node.name,
-                packet_id=packet.packet_id,
-            )
+        self.obs.event(
+            end, "medium.frame",
+            start=start, end=end,
+            src=packet.src.ip, dst=packet.dst.ip,
+            src_port=packet.src.port, dst_port=packet.dst.port,
+            proto=packet.proto, size=packet.wire_size,
+            payload=packet.payload_size, marked=packet.tos_marked,
+            broadcast=packet.is_broadcast,
+            sender=src_iface.node.name,
+            packet_id=packet.packet_id,
+        )
+        self.obs.inc("medium.frames", proto=packet.proto)
+        self.obs.observe(
+            "medium.frame_bytes", packet.wire_size,
+            buckets=BYTES_BUCKETS, proto=packet.proto,
+        )
         dst_is_station = any(
             iface.node.ip == packet.dst.ip for iface in self._stations
         )
@@ -200,15 +206,19 @@ class WirelessMedium:
                     "faults.churn_miss" if out_of_range
                     else "medium.sleep_miss"
                 )
-                if self.trace is not None:
-                    self.trace.record(
-                        end, "medium.miss",
-                        dst=iface.node.ip, proto=packet.proto,
-                        size=packet.wire_size, payload=packet.payload_size,
-                        marked=packet.tos_marked,
-                        broadcast=packet.is_broadcast,
-                        packet_id=packet.packet_id,
-                    )
+                self.obs.event(
+                    end, "medium.miss",
+                    dst=iface.node.ip, proto=packet.proto,
+                    size=packet.wire_size, payload=packet.payload_size,
+                    marked=packet.tos_marked,
+                    broadcast=packet.is_broadcast,
+                    packet_id=packet.packet_id,
+                )
+                self.obs.inc(
+                    "medium.misses",
+                    dst=iface.node.ip,
+                    cause="churn" if out_of_range else "sleep",
+                )
         if packet.is_broadcast or dst_is_station:
             return
         # Not a wireless station's address: hand it up to the gateway (AP).

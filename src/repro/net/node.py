@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.errors import AddressError, NetworkError, SocketError
 from repro.net.addr import Endpoint
 from repro.net.packet import Packet
+from repro.obs.recorder import Recorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -75,13 +76,17 @@ class Node:
         name: str,
         ip: str,
         trace: Optional["TraceRecorder"] = None,
+        obs: Optional[Recorder] = None,
     ) -> None:
         if not ip:
             raise AddressError("node needs an ip")
         self.sim = sim
         self.name = name
         self.ip = ip
-        self.trace = trace
+        # The recorder is the instrumentation funnel; ``trace`` is kept
+        # as a bare-TraceRecorder convenience (wrapped on the spot).
+        self.obs = obs if obs is not None else Recorder.wrap(trace)
+        self.trace = self.obs.trace if trace is None else trace
         self.interfaces: dict[str, Interface] = {}
         self.forwarding = False
         self.taps: list[Tap] = []
@@ -132,11 +137,10 @@ class Node:
         iface = self.route_for(packet.dst.ip)
         if iface is None:
             self.packets_dropped_no_route += 1
-            if self.trace is not None:
-                self.trace.record(
-                    self.sim.now, "node.drop.no-route", node=self.name,
-                    dst=packet.dst.ip,
-                )
+            self.obs.event(
+                self.sim.now, "node.drop.no-route", node=self.name,
+                dst=packet.dst.ip,
+            )
             return False
         self.packets_sent += 1
         iface.send(packet)
@@ -207,11 +211,10 @@ class Node:
         """Deliver a packet addressed to this node (or broadcast)."""
         if not self.try_dispatch(packet):
             self.packets_dropped_no_handler += 1
-            if self.trace is not None:
-                self.trace.record(
-                    self.sim.now, "node.drop.no-handler", node=self.name,
-                    proto=packet.proto, dst_port=packet.dst.port,
-                )
+            self.obs.event(
+                self.sim.now, "node.drop.no-handler", node=self.name,
+                proto=packet.proto, dst_port=packet.dst.port,
+            )
 
     # -- socket registration ---------------------------------------------------------
 

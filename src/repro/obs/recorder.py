@@ -1,0 +1,165 @@
+"""The single instrumentation write path.
+
+Every component records through a :class:`Recorder`:
+
+* :meth:`Recorder.event` — a point event on the simulated timeline,
+  stored as a :class:`~repro.sim.trace.TraceRecord` (so the energy
+  analyzer's postmortem queries keep working unchanged);
+* :meth:`Recorder.span` — a ``[start, end)`` interval (burst slots,
+  schedule intervals, WNIC awake stretches) feeding the Chrome-trace /
+  Perfetto exporter;
+* :meth:`Recorder.inc` / :meth:`Recorder.gauge_set` /
+  :meth:`Recorder.observe` — metrics instruments.
+
+The ``OBS001`` analysis rule forbids calling ``TraceRecorder.record``
+directly anywhere outside this package, so the recorder is the one
+funnel all observability flows through. :class:`NullRecorder` keeps the
+hooks nearly free when observability is off (the overhead bench in
+``benchmarks/test_bench_obs_overhead.py`` holds it under 5%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed ``[start, end)`` interval on a named track."""
+
+    start: float
+    end: float
+    name: str
+    track: str
+    fields: dict[str, Any]
+
+
+class Recorder:
+    """Interface (and no-op base) for instrumentation sinks."""
+
+    #: The wrapped raw trace log, if any (postmortem queries read it).
+    trace: Optional[TraceRecorder] = None
+    #: The metrics registry, if metrics are being collected.
+    metrics: Optional[MetricsRegistry] = None
+
+    def event(self, time: float, category: str, **fields: Any) -> None:
+        """Record a point event at simulated ``time``."""
+
+    def span(
+        self, start: float, end: float, name: str, track: str,
+        **fields: Any,
+    ) -> None:
+        """Record a completed interval on ``track``."""
+
+    def inc(self, name: str, n: float = 1, **labels: Any) -> None:
+        """Bump a counter."""
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge."""
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> None:
+        """Record one histogram observation."""
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Completed spans in emission order."""
+        return ()
+
+    @staticmethod
+    def wrap(trace: Optional[TraceRecorder]) -> "Recorder":
+        """Adapt a bare trace argument to a recorder.
+
+        Components accept either a full recorder or (for backward
+        compatibility) a plain :class:`TraceRecorder`; ``wrap`` turns
+        the latter into a :class:`SimRecorder` and ``None`` into the
+        shared no-op recorder.
+        """
+        if trace is None:
+            return NULL_RECORDER
+        return SimRecorder(trace=trace)
+
+
+class NullRecorder(Recorder):
+    """Discards everything; all hooks are no-ops."""
+
+
+#: Shared stateless no-op instance (safe to reuse everywhere).
+NULL_RECORDER = NullRecorder()
+
+
+class SimRecorder(Recorder):
+    """The real sink: trace rows + spans + metrics.
+
+    Args:
+        trace: raw event log to append to (created when omitted).
+        metrics: shared registry (created when omitted).
+        record_metrics: when False, ``inc``/``gauge_set``/``observe``
+            become no-ops (trace-only mode, the pre-obs baseline).
+        record_spans: when False, ``span`` becomes a no-op.
+    """
+
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        record_metrics: bool = True,
+        record_spans: bool = True,
+    ) -> None:
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.record_metrics = record_metrics
+        self.record_spans = record_spans
+        self._spans: list[SpanRecord] = []
+
+    # -- events ------------------------------------------------------------
+
+    def event(self, time: float, category: str, **fields: Any) -> None:
+        self.trace.record(time, category, **fields)
+
+    def span(
+        self, start: float, end: float, name: str, track: str,
+        **fields: Any,
+    ) -> None:
+        if not self.record_spans:
+            return
+        self._spans.append(
+            SpanRecord(
+                start=start, end=end, name=name, track=track, fields=fields
+            )
+        )
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        return tuple(self._spans)
+
+    # -- metrics -----------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1, **labels: Any) -> None:
+        if self.record_metrics:
+            self.metrics.counter(name, **labels).inc(n)
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        if self.record_metrics:
+            self.metrics.gauge(name, **labels).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> None:
+        if self.record_metrics:
+            self.metrics.histogram(name, buckets=buckets, **labels).observe(
+                value
+            )

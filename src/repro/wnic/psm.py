@@ -65,6 +65,7 @@ class PsmAccessPoint(AccessPoint):
             if wnic is not None and not wnic.is_awake:
                 self.frames_buffered += 1
                 self._buffers[packet.dst.ip].append(packet)
+                self.obs.inc("psm.frames_buffered", station=packet.dst.ip)
                 return
         super().forward(in_iface, packet)
 
@@ -76,6 +77,10 @@ class PsmAccessPoint(AccessPoint):
                 BEACON_SIZE, BEACON_PORT, meta={"psm_beacon": True, "tim": tim}
             )
             self.beacons_sent += 1
+            self.obs.event(
+                self.sim.now, "psm.beacon", ap=self.name, tim=len(tim)
+            )
+            self.obs.inc("psm.beacons", ap=self.name)
             for ip in tim:
                 self._flush_station(ip)
 

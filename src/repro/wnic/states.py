@@ -6,6 +6,7 @@ from enum import Enum
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import Recorder
 from repro.sim.core import Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -38,10 +39,12 @@ class Wnic:
         owner: str,
         trace: Optional[TraceRecorder] = None,
         start_asleep: bool = False,
+        obs: Optional[Recorder] = None,
     ) -> None:
         self.sim = sim
         self.owner = owner
-        self.trace = trace
+        self.obs = obs if obs is not None else Recorder.wrap(trace)
+        self.trace = self.obs.trace if trace is None else trace
         self._state = WnicState.SLEEP if start_asleep else WnicState.IDLE
         #: (time, new_state) history; starts with the initial state at t=0.
         self.transitions: list[tuple[float, WnicState]] = [
@@ -79,12 +82,25 @@ class Wnic:
         return True
 
     def _set_state(self, state: WnicState) -> None:
+        previous = self.transitions[-1] if self.transitions else None
         self._state = state
         self.transitions.append((self.sim.now, state))
-        if self.trace is not None:
-            self.trace.record(
-                self.sim.now, "wnic.transition", owner=self.owner,
-                state=state.value,
+        self.obs.event(
+            self.sim.now, "wnic.transition", owner=self.owner,
+            state=state.value,
+        )
+        self.obs.inc(
+            "wnic.transitions", owner=self.owner, to_state=state.value
+        )
+        if (
+            state == WnicState.SLEEP
+            and previous is not None
+            and previous[1] != WnicState.SLEEP
+            and self.sim.now > previous[0]
+        ):
+            # One completed awake stretch: render it on the timeline.
+            self.obs.span(
+                previous[0], self.sim.now, "awake", self.owner,
             )
 
     # -- timeline ----------------------------------------------------------

@@ -1,0 +1,16 @@
+# repro: module-path=core/fake_component.py
+"""BAD: components write trace rows behind the Recorder facade's back."""
+
+
+class FakeComponent:
+    def __init__(self, sim, trace):
+        self.sim = sim
+        self.trace = trace
+
+    def burst(self, client: str, sent: int) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "proxy.burst", client=client, sent=sent)
+
+
+def standalone(trace, now: float) -> None:
+    trace.record(now, "node.drop", reason="no-route")

@@ -1,0 +1,84 @@
+"""Two same-seed runs must produce byte-identical observability output.
+
+This is the acceptance gate for the whole layer: metrics snapshots,
+the event-stream JSONL and the Chrome-trace timeline are all pure
+functions of ``(plan, seed)``.
+"""
+
+from repro.cli import main
+from repro.experiments.runner import ClientSpec, ExperimentConfig, run_experiment
+from repro.obs import chrome_trace_json, events_jsonl, metrics_json
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        clients=[ClientSpec("video", video_kbps=56)] * 2,
+        burst_interval_s=0.1,
+        duration_s=2.0,
+        warmup_s=0.2,
+        start_stagger_s=0.3,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def exports(result) -> tuple[str, str, str]:
+    return (
+        metrics_json(result.obs),
+        events_jsonl(result.obs),
+        chrome_trace_json(result.obs),
+    )
+
+
+def test_same_seed_runs_are_byte_identical():
+    first = exports(run_experiment(small_config()))
+    second = exports(run_experiment(small_config()))
+    assert first == second
+
+
+def test_different_seeds_change_the_event_stream():
+    """The oracle has teeth: a different seed moves the bytes."""
+    first = events_jsonl(run_experiment(small_config()).obs)
+    other = events_jsonl(run_experiment(small_config(seed=4)).obs)
+    assert first != other
+
+
+def test_cli_run_exports_are_byte_identical(tmp_path, capsys):
+    outputs = []
+    for run_index in (0, 1):
+        metrics = tmp_path / f"metrics-{run_index}.json"
+        events = tmp_path / f"events-{run_index}.jsonl"
+        code = main(
+            [
+                "run",
+                "--clients", "video:56,video:56",
+                "--interval", "100ms",
+                "--duration", "2",
+                "--seed", "3",
+                "--metrics-out", str(metrics),
+                "--events-out", str(events),
+            ]
+        )
+        assert code == 0
+        outputs.append((metrics.read_bytes(), events.read_bytes()))
+    capsys.readouterr()
+    assert outputs[0] == outputs[1]
+    assert outputs[0][0]  # non-empty metrics snapshot
+
+
+def test_trace_subcommand_writes_a_timeline(tmp_path, capsys):
+    out = tmp_path / "timeline.json"
+    code = main(
+        [
+            "trace",
+            "--clients", "video:56",
+            "--interval", "100ms",
+            "--duration", "1",
+            "--trace-out", str(out),
+        ]
+    )
+    assert code == 0
+    text = out.read_text()
+    assert '"traceEvents"' in text
+    assert "perfetto" in capsys.readouterr().out.lower()

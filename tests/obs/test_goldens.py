@@ -1,0 +1,137 @@
+"""Golden-trace regression tests.
+
+Three canonical scenarios are pinned down to SHA-256 digests of their
+canonical metrics JSON and event-stream JSONL. Any change to
+scheduling, the network model, fault injection or the instrumentation
+itself moves the bytes and fails here with a diff against the stored
+golden text.
+
+After an *intentional* behaviour change, re-bless with::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_goldens.py \
+        -m slow --update-goldens
+"""
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ClientSpec, ExperimentConfig, run_experiment
+from repro.faults import FaultPlan, Window
+from repro.obs import digest, events_jsonl, metrics_json
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+DIGEST_FILE = GOLDEN_DIR / "digests.json"
+DIFF_LINES_SHOWN = 60
+
+
+def _static_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=56)] * 2,
+        burst_interval_s=0.1,
+        scheduler="static",
+        duration_s=2.0,
+        warmup_s=0.2,
+        start_stagger_s=0.3,
+        seed=3,
+    )
+
+
+def _dynamic_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=56), ClientSpec("web")],
+        burst_interval_s=0.1,
+        duration_s=2.0,
+        warmup_s=0.2,
+        start_stagger_s=0.3,
+        seed=3,
+    )
+
+
+def _dynamic_faults_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=56), ClientSpec("web")],
+        burst_interval_s=0.1,
+        duration_s=2.5,
+        warmup_s=0.2,
+        start_stagger_s=0.3,
+        seed=3,
+        faults=FaultPlan(loss_rate=0.05, outages=(Window(0.8, 1.0),)),
+    )
+
+
+SCENARIOS = {
+    "static": _static_config,
+    "dynamic": _dynamic_config,
+    "dynamic_faults": _dynamic_faults_config,
+}
+
+
+def _exports(name: str) -> dict[str, str]:
+    result = run_experiment(SCENARIOS[name]())
+    return {
+        "metrics.json": metrics_json(result.obs),
+        "events.jsonl": events_jsonl(result.obs),
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name, request):
+    produced = _exports(name)
+    digests = (
+        json.loads(DIGEST_FILE.read_text()) if DIGEST_FILE.exists() else {}
+    )
+
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for suffix, text in produced.items():
+            (GOLDEN_DIR / f"{name}.{suffix}").write_text(text)
+        digests[name] = {s: digest(t) for s, t in produced.items()}
+        DIGEST_FILE.write_text(
+            json.dumps(digests, indent=2, sort_keys=True) + "\n"
+        )
+        return
+
+    assert name in digests, (
+        f"no golden digests recorded for {name!r}; "
+        "bless them with --update-goldens"
+    )
+    for suffix, text in produced.items():
+        expected = digests[name][suffix]
+        actual = digest(text)
+        if actual == expected:
+            continue
+        golden_path = GOLDEN_DIR / f"{name}.{suffix}"
+        stored = golden_path.read_text() if golden_path.exists() else ""
+        diff_lines = list(
+            difflib.unified_diff(
+                stored.splitlines(),
+                text.splitlines(),
+                fromfile=f"goldens/{golden_path.name}",
+                tofile="this run",
+                lineterm="",
+            )
+        )
+        shown = "\n".join(diff_lines[:DIFF_LINES_SHOWN])
+        if len(diff_lines) > DIFF_LINES_SHOWN:
+            shown += f"\n... ({len(diff_lines) - DIFF_LINES_SHOWN} more diff lines)"
+        pytest.fail(
+            f"golden mismatch for {name}/{suffix}: "
+            f"expected sha256 {expected[:12]}…, got {actual[:12]}…\n"
+            f"{shown}\n"
+            "If this change is intentional, re-bless with "
+            "--update-goldens (see module docstring)."
+        )
+
+
+@pytest.mark.slow
+def test_goldens_are_reproducible():
+    """The digest of a fresh run matches a second fresh run."""
+    first = _exports("dynamic")
+    second = _exports("dynamic")
+    assert {s: digest(t) for s, t in first.items()} == {
+        s: digest(t) for s, t in second.items()
+    }
