@@ -33,6 +33,17 @@ ENTROPY_ALLOWED: tuple[str, ...] = ("sim/random.py",)
 #: Recorder facade itself and the trace module it wraps.
 OBS_ALLOWED: tuple[str, ...] = ("obs/", "sim/trace.py")
 
+#: Artifact driver modules that must execute runs through the sweep
+#: engine (SweepSpec + SweepEngine) rather than calling the simulation
+#: runner directly — that is what makes caching and parallel fan-out
+#: apply to every figure/table/baseline/report uniformly.
+SWEEP_SCOPE: tuple[str, ...] = (
+    "experiments/figures.py",
+    "experiments/tables.py",
+    "experiments/baselines.py",
+    "experiments/report_gen.py",
+)
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -48,6 +59,7 @@ class AnalysisConfig:
     order_scope: tuple[str, ...] = ORDER_SCOPE
     units_scope: tuple[str, ...] = UNITS_SCOPE
     api_scope: tuple[str, ...] = API_SCOPE
+    sweep_scope: tuple[str, ...] = SWEEP_SCOPE
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -66,4 +78,5 @@ EVERYWHERE = AnalysisConfig(
     order_scope=("",),
     units_scope=("",),
     api_scope=("",),
+    sweep_scope=("",),
 )

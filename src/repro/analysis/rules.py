@@ -9,6 +9,8 @@ grouped by invariant family:
 - ``SIM``: simulated-time purity (no blocking I/O in sim processes)
 - ``API``: typed public surface (annotations on public functions)
 - ``OBS``: observability (telemetry flows through the Recorder facade)
+- ``SWP``: sweep orchestration (artifact drivers fan out through the
+  sweep engine, never the raw simulation runner)
 
 Suppress a finding in place with ``# repro: noqa[RULE] -- reason``.
 """
@@ -577,3 +579,41 @@ def obs001_recorder_facade(ctx: ModuleContext) -> Iterator[RawFinding]:
                 "Recorder.event() (repro.obs) so metrics and spans stay "
                 "in one stream",
             )
+
+
+# ---------------------------------------------------------------------------
+# SWP001 — artifact drivers go through the sweep engine
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "SWP001",
+    "artifact drivers use the sweep engine",
+    "Figure/table/baseline/report drivers must expand their runs into a "
+    "SweepSpec and execute it via SweepEngine.run; a direct "
+    "run_experiment call forfeits result caching, parallel fan-out, and "
+    "per-run failure isolation for that artifact.",
+)
+def swp001_sweep_engine_only(ctx: ModuleContext) -> Iterator[RawFinding]:
+    if not ctx.in_scope(ctx.config.sweep_scope):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "run_experiment":
+                    yield (
+                        node.lineno, node.col_offset,
+                        "driver module imports run_experiment; build a "
+                        "SweepSpec and execute it through SweepEngine.run "
+                        "(repro.sweep) instead",
+                    )
+        elif isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name.split(".")[-1] == "run_experiment":
+                yield (
+                    node.lineno, node.col_offset,
+                    f"direct {name or 'run_experiment'}() call bypasses the "
+                    "sweep engine; drivers must go through "
+                    "SweepEngine.run(SweepSpec...) so caching and fan-out "
+                    "apply uniformly",
+                )

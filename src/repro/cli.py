@@ -5,10 +5,15 @@ Examples::
     python -m repro run --clients video:56,video:56,web --interval 500ms
     python -m repro figure 4 --quick
     python -m repro table optimal
+    python -m repro sweep --intervals 100ms,500ms --seeds 0:3 --jobs 2
     python -m repro demo
 
 Every command accepts ``--json`` to emit machine-readable rows instead
-of the formatted table.
+of the formatted table. The multi-run commands (``figure``, ``table``,
+``sweep``, ``report --refresh``) share the sweep engine's executor
+options: ``--jobs`` fans runs out over worker processes and
+``--cache-dir``/``--no-cache`` control the content-addressed result
+cache (warm reruns skip simulation entirely).
 """
 
 from __future__ import annotations
@@ -155,6 +160,28 @@ def build_fault_plan(args):
     return plan
 
 
+def parse_seeds(text: str) -> list[int]:
+    """'0,1,2' or '0:3' (half-open range) -> [0, 1, 2]."""
+    seeds: list[int] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            if ":" in chunk:
+                start, _, stop = chunk.partition(":")
+                seeds.extend(range(int(start), int(stop)))
+            else:
+                seeds.append(int(chunk))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad seed spec {chunk!r}: use '<n>' or '<start>:<stop>'"
+            ) from exc
+    if not seeds:
+        raise ConfigurationError(f"no seeds in {text!r}")
+    return seeds
+
+
 def parse_clients(text: str):
     """'video:56,video:512,web,ftp:2097152' -> list of ClientSpec."""
     from repro.experiments.runner import ClientSpec
@@ -181,6 +208,21 @@ def parse_clients(text: str):
 # ---------------------------------------------------------------------------
 # Commands
 # ---------------------------------------------------------------------------
+
+
+def build_engine(args):
+    """A SweepEngine from the shared ``--jobs/--cache-dir/...`` options."""
+    from repro.sweep import ResultCache, SweepEngine
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepEngine(jobs=args.jobs, cache=cache, retries=args.retries)
+
+
+def _print_engine_summary(engine, as_json: bool) -> None:
+    """One accounting line per sweep the command ran (table mode only)."""
+    if not as_json:
+        for report in engine.reports:
+            print(report.summary(), file=sys.stderr)
 
 
 def build_experiment_config(args):
@@ -283,8 +325,10 @@ def cmd_figure(args) -> int:
         "6": figures.figure6,
         "7": figures.figure7,
     }[args.number]
-    rows = driver(seed=args.seed, quick=args.quick)
+    engine = build_engine(args)
+    rows = driver(seed=args.seed, quick=args.quick, engine=engine)
     print_rows(rows, args.json)
+    _print_engine_summary(engine, args.json)
     return 0
 
 
@@ -307,19 +351,75 @@ def cmd_table(args) -> int:
     name = TABLE_DRIVERS[args.name]
     module = baselines if args.name == "psm" else tables
     driver = getattr(module, name)
-    kwargs = {"seed": args.seed}
-    if args.name != "drops-dummynet":
-        kwargs["quick"] = args.quick
-    rows = driver(**kwargs)
+    engine = build_engine(args)
+    rows = driver(seed=args.seed, quick=args.quick, engine=engine)
     if isinstance(rows, dict):
         rows = [rows]
     print_rows(rows, args.json)
+    _print_engine_summary(engine, args.json)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Expand a grid of intervals × seeds and run it through the engine."""
+    from repro.experiments.runner import ExperimentConfig
+    from repro.sweep import SweepSpec
+
+    base = ExperimentConfig(
+        clients=parse_clients(args.clients),
+        burst_interval_s=0.5,
+        scheduler=args.scheduler,
+        static_tcp_weight=args.tcp_weight,
+        duration_s=args.duration,
+        early_s=args.early_ms / 1000.0,
+        reuse_schedules=args.reuse,
+    )
+    intervals = [parse_interval(text) for text in args.intervals.split(",")]
+    spec = SweepSpec.grid(
+        args.name,
+        base,
+        axes={"burst_interval_s": intervals},
+        seeds=parse_seeds(args.seeds),
+    )
+    engine = build_engine(args)
+    outcome = engine.run(spec)
+    rows = []
+    for run, result in zip(spec.runs, outcome.results):
+        interval = run.label["burst_interval_s"]
+        rows.append(
+            {
+                "interval": "variable" if interval is None else interval,
+                "seed": run.label["seed"],
+                "avg_saved_pct": result.summary.avg_saved_pct,
+                "min_saved_pct": result.summary.min_saved_pct,
+                "max_saved_pct": result.summary.max_saved_pct,
+                "avg_loss_pct": result.summary.avg_loss_pct,
+            }
+        )
+    if args.json:
+        json.dump(
+            {"rows": rows, "report": outcome.report.as_dict()},
+            sys.stdout, indent=2, default=str,
+        )
+        print()
+    else:
+        print_rows(rows, False)
+        print(outcome.report.summary(), file=sys.stderr)
     return 0
 
 
 def cmd_report(args) -> int:
     from repro.experiments.report_gen import write_report
 
+    if args.refresh:
+        from repro.experiments.report_gen import refresh_results
+
+        engine = build_engine(args)
+        written = refresh_results(
+            results_dir=args.results, quick=args.quick, engine=engine,
+        )
+        _print_engine_summary(engine, as_json=False)
+        print(f"refreshed {len(written)} result file(s) in {args.results}")
     path = write_report(results_dir=args.results, output=args.output)
     print(f"wrote {path}")
     return 0
@@ -474,6 +574,28 @@ def build_parser() -> argparse.ArgumentParser:
         obs.add_argument("--trace-out", default=None, metavar="FILE",
                          help="write a chrome://tracing / Perfetto timeline")
 
+    def add_executor_options(command) -> None:
+        """Sweep-engine options shared by every multi-run command."""
+        executor = command.add_argument_group(
+            "sweep execution (cache + parallel fan-out; see DESIGN.md §10)"
+        )
+        executor.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes (1 = serial; results are identical)",
+        )
+        executor.add_argument(
+            "--cache-dir", default=".sweep-cache", metavar="DIR",
+            help="content-addressed result cache (default: .sweep-cache)",
+        )
+        executor.add_argument(
+            "--no-cache", action="store_true",
+            help="always re-run; neither read nor write the cache",
+        )
+        executor.add_argument(
+            "--retries", type=int, default=1, metavar="N",
+            help="extra attempts per failing run before giving up",
+        )
+
     run = sub.add_parser("run", help="run one experiment")
     add_run_options(run)
     run.add_argument("--json", action="store_true")
@@ -491,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--quick", action="store_true")
     figure.add_argument("--seed", type=int, default=1)
     figure.add_argument("--json", action="store_true")
+    add_executor_options(figure)
     figure.set_defaults(func=cmd_figure)
 
     table = sub.add_parser("table", help="regenerate a paper table/ablation")
@@ -498,13 +621,47 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--quick", action="store_true")
     table.add_argument("--seed", type=int, default=1)
     table.add_argument("--json", action="store_true")
+    add_executor_options(table)
     table.set_defaults(func=cmd_table)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an interval × seed grid through the sweep engine",
+    )
+    sweep.add_argument("--name", default="cli_sweep",
+                       help="sweep name (reporting only)")
+    sweep.add_argument(
+        "--clients", default="video:56,video:56,video:56,video:56",
+        help="comma list: video:<kbps> | web[:pages] | ftp[:bytes]",
+    )
+    sweep.add_argument("--intervals", default="100ms,500ms",
+                       metavar="LIST",
+                       help="comma list of burst intervals to sweep")
+    sweep.add_argument("--seeds", default="0", metavar="LIST",
+                       help="comma list and/or '<start>:<stop>' ranges")
+    sweep.add_argument("--scheduler", choices=("dynamic", "static"),
+                       default="dynamic")
+    sweep.add_argument("--tcp-weight", type=float, default=0.0)
+    sweep.add_argument("--duration", type=float, default=119.0)
+    sweep.add_argument("--early-ms", type=float, default=6.0)
+    sweep.add_argument("--reuse", action="store_true",
+                       help="enable §5 schedule reuse")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit {rows, report} as JSON")
+    add_executor_options(sweep)
+    sweep.set_defaults(func=cmd_sweep)
 
     report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md from benchmarks/results"
     )
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--refresh", action="store_true",
+                        help="re-run every driver (through the sweep "
+                             "engine) before rendering")
+    report.add_argument("--quick", action="store_true",
+                        help="with --refresh: CI-sized runs")
+    add_executor_options(report)
     report.set_defaults(func=cmd_report)
 
     analyze = sub.add_parser(

@@ -24,7 +24,10 @@ is faithful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.sweep import SweepEngine
 
 from repro.core.client import PowerAwareClient
 from repro.core.delay_comp import DelayCompensator
@@ -153,22 +156,51 @@ def sweep_early_amounts(
     early_amounts_s: Sequence[float],
     compensator_factory: Optional[Callable[[float], DelayCompensator]] = None,
     duration_s: Optional[float] = None,
+    client_kwargs: Optional[dict] = None,
+    engine: Optional["SweepEngine"] = None,
 ) -> list[tuple[float, ReplayResult]]:
-    """Figure 6 from one capture: replay several early amounts."""
-    from repro.core.delay_comp import AdaptiveCompensator
+    """Figure 6 from one capture: replay several early amounts.
 
-    factory = compensator_factory or (
-        lambda early: AdaptiveCompensator(early_s=early)
-    )
-    results = []
-    for early in early_amounts_s:
-        results.append(
+    The default adaptive-compensator sweep fans out through the sweep
+    engine (task ``replay-early``), so replays cache and parallelize
+    like live experiments. A custom ``compensator_factory`` is a live
+    callable — it cannot be content-addressed — so that path replays
+    serially in-process, bypassing the engine.
+    """
+    if compensator_factory is not None:
+        return [
             (
                 early,
                 replay_policy(
-                    frames, client_ip, factory(early), power,
+                    frames, client_ip, compensator_factory(early), power,
                     duration_s=duration_s,
+                    client_kwargs=client_kwargs,
                 ),
             )
+            for early in early_amounts_s
+        ]
+
+    from repro.sweep import SweepEngine, SweepSpec
+
+    if engine is None:
+        engine = SweepEngine()
+    frame_list = list(frames)
+    outcome = engine.run(
+        SweepSpec.from_tasks(
+            "replay_early_sweep",
+            "replay-early",
+            [
+                {
+                    "frames": frame_list,
+                    "client_ip": client_ip,
+                    "power": power,
+                    "early_s": early,
+                    "duration_s": duration_s,
+                    "client_kwargs": client_kwargs,
+                }
+                for early in early_amounts_s
+            ],
+            labels=[{"early_s": early} for early in early_amounts_s],
         )
-    return results
+    )
+    return list(zip(early_amounts_s, outcome.results))

@@ -45,3 +45,11 @@ class ConfigurationError(ReproError):
 
 class TraceError(ReproError):
     """Errors raised while capturing or analyzing packet traces."""
+
+
+class SweepError(ReproError):
+    """Errors raised by the sweep orchestration subsystem."""
+
+
+class SweepExecutionError(SweepError):
+    """One or more sweep runs failed after exhausting their retries."""

@@ -6,11 +6,16 @@ the comparison concrete on this codebase: the same CBR-ish UDP stream
 delivered to (a) a PSM station behind a PSM access point, (b) a
 power-aware client behind the scheduling proxy, (c) a naive always-on
 client — measuring energy saved *and* per-packet delivery latency.
+
+The three policy runs fan out through the sweep engine (task
+``psm-baseline``), so they cache and parallelize like every other
+driver; ``SWP001`` keeps it that way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.bandwidth_model import calibrate
 from repro.core.client import PowerAwareClient
@@ -25,6 +30,7 @@ from repro.net.node import Node
 from repro.net.sniffer import MonitoringStation
 from repro.net.udp import UdpSocket
 from repro.sim import RngStreams, Simulator, TraceRecorder
+from repro.sweep import SweepEngine, SweepSpec
 from repro.units import kbps, mbps, ms
 from repro.wnic.power import WAVELAN_2_4GHZ
 from repro.wnic.psm import PsmAccessPoint, PsmClient
@@ -117,22 +123,39 @@ def _run_one(policy: str, duration_s: float, rate_bps: float, seed: int) -> Base
 
 
 def psm_comparison(
-    seed: int = 0, quick: bool = False, rate_kbps: float = 225.0
+    seed: int = 0, quick: bool = False, rate_kbps: float = 225.0,
+    engine: Optional[SweepEngine] = None,
 ) -> list[dict]:
     """Run the three policies on the same stream; returns one row each."""
     duration = 20.0 if quick else 60.0
-    rows = []
-    for policy in ("naive", "psm", "proxy"):
-        result = _run_one(policy, duration, kbps(rate_kbps), seed)
-        rows.append(
-            {
-                "experiment": "psm-comparison",
-                "policy": result.policy,
-                "energy_saved_pct": result.energy_saved_pct,
-                "mean_latency_ms": result.mean_latency_ms,
-                "p95_latency_ms": result.p95_latency_ms,
-                "packets_delivered": result.packets_delivered,
-                "packets_missed": result.packets_missed,
-            }
+    policies = ("naive", "psm", "proxy")
+    if engine is None:
+        engine = SweepEngine()
+    outcome = engine.run(
+        SweepSpec.from_tasks(
+            "psm_comparison",
+            "psm-baseline",
+            [
+                {
+                    "policy": policy,
+                    "duration_s": duration,
+                    "rate_bps": kbps(rate_kbps),
+                    "seed": seed,
+                }
+                for policy in policies
+            ],
+            labels=[{"policy": policy} for policy in policies],
         )
-    return rows
+    )
+    return [
+        {
+            "experiment": "psm-comparison",
+            "policy": result.policy,
+            "energy_saved_pct": result.energy_saved_pct,
+            "mean_latency_ms": result.mean_latency_ms,
+            "p95_latency_ms": result.p95_latency_ms,
+            "packets_delivered": result.packets_delivered,
+            "packets_missed": result.packets_missed,
+        }
+        for result in outcome.results
+    ]

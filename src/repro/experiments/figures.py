@@ -1,24 +1,29 @@
 """Drivers regenerating every figure of the paper's evaluation.
 
-Each function runs the experiments behind one figure and returns plain
-data (lists of dict rows) that the benchmark harness prints in the
-paper's format. ``quick=True`` shrinks client counts and durations for
-CI; the benchmarks run full scale.
+Each function expands its experiment grid into a
+:class:`~repro.sweep.SweepSpec`, hands it to a
+:class:`~repro.sweep.SweepEngine` (serial and cache-less by default;
+callers pass an engine for parallelism and warm-cache reruns), and
+shapes the results into plain data rows that the benchmark harness
+prints in the paper's format. ``quick=True`` shrinks client counts and
+durations for CI; the benchmarks run full scale.
+
+Simulations are never invoked directly here — the ``SWP001`` analysis
+rule pins every figure/table driver to the sweep engine, which is what
+makes caching and fan-out apply to all of them uniformly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.runner import (
     ClientSpec,
     ExperimentConfig,
-    ExperimentResult,
     mixed,
-    run_experiment,
     video_only,
 )
+from repro.sweep import SweepEngine, SweepSpec
 from repro.wnic.power import WAVELAN_2_4GHZ
 
 #: Figure 4/5 access patterns (10 clients in the paper).
@@ -48,64 +53,90 @@ def _duration(quick: bool) -> float:
     return 30.0 if quick else 119.0
 
 
-def figure4(seed: int = 0, quick: bool = False) -> list[dict]:
+def _engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    return engine if engine is not None else SweepEngine()
+
+
+def figure4(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """Figure 4: ten UDP video clients, five access patterns, three
     burst intervals; rows carry avg/min/max savings and loss."""
-    rows = []
+    configs: list[ExperimentConfig] = []
+    labels: list[dict] = []
     for interval_label, interval in INTERVALS.items():
         for pattern_label, pattern in FIGURE4_PATTERNS.items():
-            config = video_only(
-                _scale(pattern, quick),
-                burst_interval_s=interval,
-                duration_s=_duration(quick),
-                seed=seed,
+            configs.append(
+                video_only(
+                    _scale(pattern, quick),
+                    burst_interval_s=interval,
+                    duration_s=_duration(quick),
+                    seed=seed,
+                )
             )
-            result = run_experiment(config)
-            summary = result.video_summary
-            rows.append(
-                {
-                    "figure": "4",
-                    "interval": interval_label,
-                    "pattern": pattern_label,
-                    "avg_saved_pct": summary.avg_saved_pct,
-                    "min_saved_pct": summary.min_saved_pct,
-                    "max_saved_pct": summary.max_saved_pct,
-                    "avg_loss_pct": summary.avg_loss_pct,
-                    "max_loss_pct": summary.max_loss_pct,
-                    "downshifts": result.downshifts,
-                }
-            )
+            labels.append({"interval": interval_label, "pattern": pattern_label})
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("figure4", configs, labels)
+    )
+    rows = []
+    for label, result in zip(labels, outcome.results):
+        summary = result.video_summary
+        rows.append(
+            {
+                "figure": "4",
+                "interval": label["interval"],
+                "pattern": label["pattern"],
+                "avg_saved_pct": summary.avg_saved_pct,
+                "min_saved_pct": summary.min_saved_pct,
+                "max_saved_pct": summary.max_saved_pct,
+                "avg_loss_pct": summary.avg_loss_pct,
+                "max_loss_pct": summary.max_loss_pct,
+                "downshifts": result.downshifts,
+            }
+        )
     return rows
 
 
-def figure5(seed: int = 0, quick: bool = False) -> list[dict]:
+def figure5(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """Figure 5: mixed video + web clients; separate UDP and TCP bars."""
-    rows = []
     n_web = 1 if quick else 3
+    configs = []
+    labels = []
     for interval_label, interval in INTERVALS.items():
         for pattern_label, pattern in FIGURE5_PATTERNS.items():
-            config = mixed(
-                _scale(pattern, quick),
-                n_web=n_web,
-                burst_interval_s=interval,
-                duration_s=_duration(quick),
-                seed=seed,
+            configs.append(
+                mixed(
+                    _scale(pattern, quick),
+                    n_web=n_web,
+                    burst_interval_s=interval,
+                    duration_s=_duration(quick),
+                    seed=seed,
+                )
             )
-            result = run_experiment(config)
-            rows.append(
-                {
-                    "figure": "5",
-                    "interval": interval_label,
-                    "pattern": pattern_label,
-                    "udp_avg_saved_pct": result.video_summary.avg_saved_pct,
-                    "udp_min_saved_pct": result.video_summary.min_saved_pct,
-                    "udp_max_saved_pct": result.video_summary.max_saved_pct,
-                    "tcp_avg_saved_pct": result.tcp_summary.avg_saved_pct,
-                    "tcp_min_saved_pct": result.tcp_summary.min_saved_pct,
-                    "tcp_max_saved_pct": result.tcp_summary.max_saved_pct,
-                    "avg_loss_pct": result.summary.avg_loss_pct,
-                }
-            )
+            labels.append({"interval": interval_label, "pattern": pattern_label})
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("figure5", configs, labels)
+    )
+    rows = []
+    for label, result in zip(labels, outcome.results):
+        rows.append(
+            {
+                "figure": "5",
+                "interval": label["interval"],
+                "pattern": label["pattern"],
+                "udp_avg_saved_pct": result.video_summary.avg_saved_pct,
+                "udp_min_saved_pct": result.video_summary.min_saved_pct,
+                "udp_max_saved_pct": result.video_summary.max_saved_pct,
+                "tcp_avg_saved_pct": result.tcp_summary.avg_saved_pct,
+                "tcp_min_saved_pct": result.tcp_summary.min_saved_pct,
+                "tcp_max_saved_pct": result.tcp_summary.max_saved_pct,
+                "avg_loss_pct": result.summary.avg_loss_pct,
+            }
+        )
     return rows
 
 
@@ -113,6 +144,7 @@ def figure6(
     seed: int = 0,
     quick: bool = False,
     early_amounts_ms: tuple = (0, 2, 4, 6, 8, 10),
+    engine: Optional[SweepEngine] = None,
 ) -> list[dict]:
     """Figure 6: early-transition sweep on a 100 ms interval.
 
@@ -121,18 +153,24 @@ def figure6(
     awake-vs-sleep power difference). Missed-packet percentages come
     along for the §4.3 companion numbers (0.97-1.83 %).
     """
-    rows = []
     waste_rate_w = WAVELAN_2_4GHZ.idle_w - WAVELAN_2_4GHZ.sleep_w
     n_clients = 2 if quick else 4
-    for early_ms in early_amounts_ms:
-        config = video_only(
+    configs = [
+        video_only(
             [56] * n_clients,
             burst_interval_s=0.1,
             duration_s=_duration(quick),
             seed=seed,
             early_s=early_ms / 1000.0,
         )
-        result = run_experiment(config)
+        for early_ms in early_amounts_ms
+    ]
+    labels = [{"early_ms": early_ms} for early_ms in early_amounts_ms]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("figure6", configs, labels)
+    )
+    rows = []
+    for label, result in zip(labels, outcome.results):
         early_j = sum(r.early_wait_s for r in result.reports) * waste_rate_w
         miss_j = sum(r.miss_recovery_s for r in result.reports) * waste_rate_w
         missed_schedules = sum(r.missed_schedules for r in result.reports)
@@ -140,7 +178,7 @@ def figure6(
         rows.append(
             {
                 "figure": "6",
-                "early_ms": early_ms,
+                "early_ms": label["early_ms"],
                 "early_waste_j": early_j,
                 "missed_schedule_waste_j": miss_j,
                 "total_waste_j": early_j + miss_j,
@@ -157,6 +195,7 @@ def figure7(
     seed: int = 0,
     quick: bool = False,
     tcp_weights: tuple = (0.10, 0.33, 0.56),
+    engine: Optional[SweepEngine] = None,
 ) -> list[dict]:
     """Figure 7: static schedule with fixed TCP/UDP slots at 500 ms.
 
@@ -169,9 +208,8 @@ def figure7(
         ClientSpec("video", video_kbps=rate)
         for rate in (fidelities if quick else fidelities * 2)
     ]
-    rows = []
-    for weight in tcp_weights:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             clients=video_specs + [ClientSpec("web")],
             burst_interval_s=0.5,
             scheduler="static",
@@ -179,7 +217,15 @@ def figure7(
             duration_s=_duration(quick),
             seed=seed,
         )
-        result = run_experiment(config)
+        for weight in tcp_weights
+    ]
+    labels = [{"tcp_weight": weight} for weight in tcp_weights]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("figure7", configs, labels)
+    )
+    rows = []
+    for config, label, result in zip(configs, labels, outcome.results):
+        weight = label["tcp_weight"]
         per_fidelity: dict[int, list[float]] = {f: [] for f in fidelities}
         for report, spec in zip(result.reports, config.clients):
             if spec.kind == "video":

@@ -5,18 +5,20 @@ Covers the TCP-only experiment (§4.2, text), the optimal comparison
 Netfilter and DummyNet), the proxy memory claim (§3.2.2), the §5
 schedule-reuse future-work extension, and the split-connection
 ablation motivating the proxy's double-connection design (§2, §3.2).
+
+Like :mod:`~repro.experiments.figures`, every driver expands its runs
+into a :class:`~repro.sweep.SweepSpec` and executes through a
+:class:`~repro.sweep.SweepEngine` (``SWP001`` forbids calling the
+runner directly), so all tables share the sweep cache and fan-out.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.bandwidth_model import calibrate
-from repro.energy.optimal import optimal_energy_saved_pct
 from repro.experiments.runner import (
     ClientSpec,
     ExperimentConfig,
-    run_experiment,
     video_only,
 )
 from repro.experiments.scenarios import ScenarioConfig
@@ -25,60 +27,85 @@ from repro.net.node import Node
 from repro.net.shaper import DummyNetPipe
 from repro.net.tcp import TcpConnection, TcpListener
 from repro.sim import RngStreams, Simulator
+from repro.sweep import SweepEngine, SweepSpec
 from repro.units import mbps, mib, ms
-from repro.wnic.power import WAVELAN_2_4GHZ
 
 
 def _duration(quick: bool) -> float:
     return 30.0 if quick else 119.0
 
 
-def tcp_only(seed: int = 0, quick: bool = False) -> list[dict]:
+def _engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    return engine if engine is not None else SweepEngine()
+
+
+def tcp_only(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """E2 — §4.2 text: all clients browsing the web (70-80 % savings)."""
-    rows = []
     n = 3 if quick else 10
-    for label, interval in (("100ms", 0.1), ("500ms", 0.5), ("variable", None)):
-        config = ExperimentConfig(
+    intervals = (("100ms", 0.1), ("500ms", 0.5), ("variable", None))
+    configs = [
+        ExperimentConfig(
             clients=[ClientSpec("web")] * n,
             burst_interval_s=interval,
             duration_s=_duration(quick),
             seed=seed,
         )
-        result = run_experiment(config)
-        rows.append(
-            {
-                "experiment": "tcp-only",
-                "interval": label,
-                "avg_saved_pct": result.tcp_summary.avg_saved_pct,
-                "min_saved_pct": result.tcp_summary.min_saved_pct,
-                "max_saved_pct": result.tcp_summary.max_saved_pct,
-                "avg_loss_pct": result.tcp_summary.avg_loss_pct,
-                "pages_loaded": sum(
-                    r.extra.get("pages_loaded", 0) for r in result.reports
-                ),
-            }
-        )
-    return rows
+        for _, interval in intervals
+    ]
+    labels = [{"interval": label} for label, _ in intervals]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("tcp_only", configs, labels)
+    )
+    return [
+        {
+            "experiment": "tcp-only",
+            "interval": label["interval"],
+            "avg_saved_pct": result.tcp_summary.avg_saved_pct,
+            "min_saved_pct": result.tcp_summary.min_saved_pct,
+            "max_saved_pct": result.tcp_summary.max_saved_pct,
+            "avg_loss_pct": result.tcp_summary.avg_loss_pct,
+            "pages_loaded": sum(
+                r.extra.get("pages_loaded", 0) for r in result.reports
+            ),
+        }
+        for label, result in zip(labels, outcome.results)
+    ]
 
 
-def optimal_comparison(seed: int = 0, quick: bool = False) -> list[dict]:
+def optimal_comparison(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """E4 — §4.3: measured savings versus the closed-form optimum.
 
     Paper values: optimal 90/83/77 %, measured 77/66/53 % for the
     56K/256K/512K video-only experiments at 500 ms.
     """
-    rows = []
     n = 4 if quick else 10
-    for rate, paper_optimal, paper_measured in (
+    cells = (
         (56, 90.0, 77.0),
         (256, 83.0, 66.0),
         (512, 77.0, 53.0),
-    ):
-        config = video_only(
+    )
+    configs = [
+        video_only(
             [rate] * n, burst_interval_s=0.5,
             duration_s=_duration(quick), seed=seed,
         )
-        result = run_experiment(config)
+        for rate, _, _ in cells
+    ]
+    labels = [
+        {"rate": rate, "paper_optimal": opt, "paper_measured": meas}
+        for rate, opt, meas in cells
+    ]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("optimal_comparison", configs, labels)
+    )
+    rows = []
+    for label, result in zip(labels, outcome.results):
         optima = [
             r.optimal_saved_pct for r in result.reports
             if r.optimal_saved_pct is not None
@@ -86,34 +113,55 @@ def optimal_comparison(seed: int = 0, quick: bool = False) -> list[dict]:
         rows.append(
             {
                 "experiment": "optimal-comparison",
-                "stream": f"{rate}K",
+                "stream": f"{label['rate']}K",
                 "optimal_pct": sum(optima) / len(optima),
                 "measured_pct": result.video_summary.avg_saved_pct,
                 "gap_pct": sum(optima) / len(optima)
                 - result.video_summary.avg_saved_pct,
-                "paper_optimal_pct": paper_optimal,
-                "paper_measured_pct": paper_measured,
+                "paper_optimal_pct": label["paper_optimal"],
+                "paper_measured_pct": label["paper_measured"],
             }
         )
     return rows
 
 
-def static_vs_dynamic(seed: int = 0, quick: bool = False) -> list[dict]:
+def static_vs_dynamic(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """E7 — §4.3: static TDMA beats dynamic for identical streams."""
-    rows = []
     n = 4 if quick else 10
-    for rate in (56, 256, 512):
+    rates = (56, 256, 512)
+    schedulers = ("static", "dynamic")
+    configs = [
+        ExperimentConfig(
+            clients=[ClientSpec("video", video_kbps=rate)] * n,
+            burst_interval_s=0.1,
+            scheduler=scheduler,
+            duration_s=_duration(quick),
+            seed=seed,
+            adaptive_video=False,
+        )
+        for rate in rates
+        for scheduler in schedulers
+    ]
+    labels = [
+        {"rate": rate, "scheduler": scheduler}
+        for rate in rates
+        for scheduler in schedulers
+    ]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("static_vs_dynamic", configs, labels)
+    )
+    by_cell = {
+        (label["rate"], label["scheduler"]): result
+        for label, result in zip(labels, outcome.results)
+    }
+    rows = []
+    for rate in rates:
         cells = {}
-        for scheduler in ("static", "dynamic"):
-            config = ExperimentConfig(
-                clients=[ClientSpec("video", video_kbps=rate)] * n,
-                burst_interval_s=0.1,
-                scheduler=scheduler,
-                duration_s=_duration(quick),
-                seed=seed,
-                adaptive_video=False,
-            )
-            result = run_experiment(config)
+        for scheduler in schedulers:
+            result = by_cell[(rate, scheduler)]
             saved = [r.energy_saved_pct for r in result.reports]
             mean = sum(saved) / len(saved)
             variance = sum((s - mean) ** 2 for s in saved) / len(saved)
@@ -131,7 +179,10 @@ def static_vs_dynamic(seed: int = 0, quick: bool = False) -> list[dict]:
     return rows
 
 
-def drop_effect_netfilter(seed: int = 0, quick: bool = False) -> list[dict]:
+def drop_effect_netfilter(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """E9a — §4.3: dropping packets while asleep versus receiving them.
 
     The paper configured Netfilter to really drop packets destined to a
@@ -142,78 +193,110 @@ def drop_effect_netfilter(seed: int = 0, quick: bool = False) -> list[dict]:
     The aggressive ``early=0`` row forces misses so the comparison
     exercises real drops.
     """
-    rows = []
     size = mib(1) if quick else mib(4)
     # The paper's setup is the single client ("we ran separate
     # experiments with one client and Netfilter"); the contended
     # variant adds background video so the transfer spans many
     # sleep/wake cycles and drops actually occur.
     background = [ClientSpec("video", video_kbps=256)] * (2 if quick else 4)
-    for label_cfg, extra_clients in (
-        ("single-client", []),
-        ("contended", background),
-    ):
-        times = {}
-        for enforce, label in (
-            (True, "drops_enforced"), (False, "receive_anyway"),
-        ):
-            config = ExperimentConfig(
-                clients=extra_clients + [ClientSpec("ftp", ftp_bytes=size)],
-                burst_interval_s=0.5,
-                duration_s=60.0 if quick else 119.0,
-                seed=seed,
-                enforce_sleep_drops=enforce,
+    setups = (("single-client", []), ("contended", background))
+    gates = ((True, "drops_enforced"), (False, "receive_anyway"))
+    configs = []
+    labels = []
+    for label_cfg, extra_clients in setups:
+        for enforce, gate_label in gates:
+            configs.append(
+                ExperimentConfig(
+                    clients=extra_clients + [ClientSpec("ftp", ftp_bytes=size)],
+                    burst_interval_s=0.5,
+                    duration_s=60.0 if quick else 119.0,
+                    seed=seed,
+                    enforce_sleep_drops=enforce,
+                )
             )
-            result = run_experiment(config)
-            times[label] = result.reports[-1].extra.get("transfer_time_s")
+            labels.append({"setup": label_cfg, "gate": gate_label})
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("drop_effect_netfilter", configs, labels)
+    )
+    times: dict[str, dict[str, Optional[float]]] = {}
+    for label, result in zip(labels, outcome.results):
+        times.setdefault(label["setup"], {})[label["gate"]] = (
+            result.reports[-1].extra.get("transfer_time_s")
+        )
+    rows = []
+    for label_cfg, _ in setups:
+        cell = times[label_cfg]
         slowdown = None
-        if times["receive_anyway"] and times["drops_enforced"]:
-            slowdown = times["drops_enforced"] / times["receive_anyway"] - 1.0
+        if cell["receive_anyway"] and cell["drops_enforced"]:
+            slowdown = cell["drops_enforced"] / cell["receive_anyway"] - 1.0
         rows.append(
             {
                 "experiment": "drop-effect-netfilter",
                 "setup": label_cfg,
-                "transfer_s_drops_enforced": times["drops_enforced"],
-                "transfer_s_receive_anyway": times["receive_anyway"],
+                "transfer_s_drops_enforced": cell["drops_enforced"],
+                "transfer_s_receive_anyway": cell["receive_anyway"],
                 "slowdown_fraction": slowdown,
             }
         )
     return rows
 
 
+def _dummynet_transfer(
+    seed: int, transfer_bytes: int, plr: float
+) -> float:
+    """One TCP transfer over a 4 Mb/s DummyNet pipe; returns the
+    completion time (or +inf when it never finishes).
+
+    Module-level so the sweep engine can address it as the
+    ``dummynet-transfer`` task from worker processes.
+    """
+    sim = Simulator()
+    rng = RngStreams(seed=seed).get("dummynet")
+    a = Node(sim, "client", "10.0.0.1")
+    b = Node(sim, "server", "10.0.0.2")
+    pipe = DummyNetPipe(sim, mbps(4), delay_s=ms(1), plr=plr, rng=rng)
+    pipe.attach(a.add_interface("e"), b.add_interface("e"))
+    a.set_default_route(a.interfaces["e"])
+    b.set_default_route(b.interfaces["e"])
+
+    def on_accept(conn):
+        conn.on_established = lambda c: (c.send(transfer_bytes), c.close())
+
+    TcpListener(b, 80, on_accept)
+    client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
+    done_probe = {"t": None}
+
+    def on_data(n, p, c=client):
+        if client.bytes_delivered >= transfer_bytes and done_probe["t"] is None:
+            done_probe["t"] = sim.now
+
+    client.on_data = on_data
+    sim.run(until=600.0)
+    return done_probe["t"] if done_probe["t"] is not None else float("inf")
+
+
 def drop_effect_dummynet(
-    seed: int = 0, transfer_bytes: int = mib(2)
+    seed: int = 0,
+    quick: bool = False,
+    transfer_bytes: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> dict:
     """E9b — §4.3: a 4 Mb/s DummyNet pipe, 2 ms RTT, 5 % drop rate."""
-
-    def run(plr: float) -> float:
-        sim = Simulator()
-        rng = RngStreams(seed=seed).get("dummynet")
-        a = Node(sim, "client", "10.0.0.1")
-        b = Node(sim, "server", "10.0.0.2")
-        pipe = DummyNetPipe(sim, mbps(4), delay_s=ms(1), plr=plr, rng=rng)
-        pipe.attach(a.add_interface("e"), b.add_interface("e"))
-        a.set_default_route(a.interfaces["e"])
-        b.set_default_route(b.interfaces["e"])
-
-        def on_accept(conn):
-            conn.on_established = lambda c: (c.send(transfer_bytes), c.close())
-
-        TcpListener(b, 80, on_accept)
-        finished = []
-        client = TcpConnection.connect(a, Endpoint("10.0.0.2", 80))
-        done_probe = {"t": None}
-
-        def on_data(n, p, c=client):
-            if client.bytes_delivered >= transfer_bytes and done_probe["t"] is None:
-                done_probe["t"] = sim.now
-
-        client.on_data = on_data
-        sim.run(until=600.0)
-        return done_probe["t"] if done_probe["t"] is not None else float("inf")
-
-    clean = run(0.0)
-    lossy = run(0.05)
+    if transfer_bytes is None:
+        transfer_bytes = mib(1) if quick else mib(2)
+    rates = (0.0, 0.05)
+    outcome = _engine(engine).run(
+        SweepSpec.from_tasks(
+            "drop_effect_dummynet",
+            "dummynet-transfer",
+            [
+                {"seed": seed, "transfer_bytes": transfer_bytes, "plr": plr}
+                for plr in rates
+            ],
+            labels=[{"plr": plr} for plr in rates],
+        )
+    )
+    clean, lossy = outcome.results
     return {
         "experiment": "drop-effect-dummynet",
         "transfer_s_clean": clean,
@@ -222,7 +305,10 @@ def drop_effect_dummynet(
     }
 
 
-def memory_footprint(seed: int = 0, quick: bool = False) -> dict:
+def memory_footprint(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> dict:
     """E10 — §3.2.2: the proxy buffer stays small (≤512 KB claimed)."""
     clients = [ClientSpec("video", video_kbps=512)] * (4 if quick else 8)
     clients += [ClientSpec("web")] * 2
@@ -232,7 +318,10 @@ def memory_footprint(seed: int = 0, quick: bool = False) -> dict:
         duration_s=_duration(quick),
         seed=seed,
     )
-    result = run_experiment(config)
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("memory_footprint", [config])
+    )
+    result = outcome.results[0]
     return {
         "experiment": "memory-footprint",
         "peak_buffer_bytes": result.peak_proxy_buffer_bytes,
@@ -241,31 +330,42 @@ def memory_footprint(seed: int = 0, quick: bool = False) -> dict:
     }
 
 
-def schedule_reuse(seed: int = 0, quick: bool = False) -> list[dict]:
+def schedule_reuse(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """E11 — §5 future work: skip the schedule wake when unchanged."""
-    rows = []
     n = 4 if quick else 10
-    for reuse in (False, True):
-        config = video_only(
+    variants = (False, True)
+    configs = [
+        video_only(
             [56] * n, burst_interval_s=0.1,
             duration_s=_duration(quick), seed=seed,
             reuse_schedules=reuse,
         )
-        result = run_experiment(config)
-        rows.append(
-            {
-                "experiment": "schedule-reuse",
-                "reuse_enabled": reuse,
-                "avg_saved_pct": result.summary.avg_saved_pct,
-                "schedules_sent": result.schedules_sent,
-                "schedules_reused": result.schedules_reused,
-                "avg_loss_pct": result.summary.avg_loss_pct,
-            }
-        )
-    return rows
+        for reuse in variants
+    ]
+    labels = [{"reuse": reuse} for reuse in variants]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("schedule_reuse", configs, labels)
+    )
+    return [
+        {
+            "experiment": "schedule-reuse",
+            "reuse_enabled": label["reuse"],
+            "avg_saved_pct": result.summary.avg_saved_pct,
+            "schedules_sent": result.schedules_sent,
+            "schedules_reused": result.schedules_reused,
+            "avg_loss_pct": result.summary.avg_loss_pct,
+        }
+        for label, result in zip(labels, outcome.results)
+    ]
 
 
-def compensator_ablation(seed: int = 0, quick: bool = False) -> list[dict]:
+def compensator_ablation(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """Ablation — delay-compensation algorithms (§3.3).
 
     Same workload, four clients, 100 ms interval; only the client-side
@@ -277,15 +377,14 @@ def compensator_ablation(seed: int = 0, quick: bool = False) -> list[dict]:
     * ``fixed-skewed`` — absolute timestamps with a 20 ms clock error
       (why unsynchronized clocks force the adaptive design).
     """
-    rows = []
     n = 2 if quick else 4
     variants = (
         ("adaptive", "adaptive", 0.0),
         ("fixed-exact", "fixed", 0.0),
         ("fixed-skewed", "fixed", 0.02),
     )
-    for label, compensator, clock_error in variants:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             clients=[ClientSpec("video", video_kbps=128)] * n,
             burst_interval_s=0.1,
             duration_s=_duration(quick),
@@ -293,22 +392,30 @@ def compensator_ablation(seed: int = 0, quick: bool = False) -> list[dict]:
             compensator=compensator,
             fixed_clock_offset_error_s=clock_error,
         )
-        result = run_experiment(config)
-        rows.append(
-            {
-                "experiment": "compensator-ablation",
-                "variant": label,
-                "avg_saved_pct": result.summary.avg_saved_pct,
-                "avg_loss_pct": result.summary.avg_loss_pct,
-                "missed_schedules": sum(
-                    r.missed_schedules for r in result.reports
-                ),
-            }
-        )
-    return rows
+        for _, compensator, clock_error in variants
+    ]
+    labels = [{"variant": label} for label, _, _ in variants]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("compensator_ablation", configs, labels)
+    )
+    return [
+        {
+            "experiment": "compensator-ablation",
+            "variant": label["variant"],
+            "avg_saved_pct": result.summary.avg_saved_pct,
+            "avg_loss_pct": result.summary.avg_loss_pct,
+            "missed_schedules": sum(
+                r.missed_schedules for r in result.reports
+            ),
+        }
+        for label, result in zip(labels, outcome.results)
+    ]
 
 
-def split_connection_ablation(seed: int = 0, quick: bool = False) -> list[dict]:
+def split_connection_ablation(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
     """Ablation — why the proxy splits connections (§2, §3.2).
 
     Three ways to move the same FTP download to a scheduled client:
@@ -321,10 +428,10 @@ def split_connection_ablation(seed: int = 0, quick: bool = False) -> list[dict]:
     * ``bridge``  — no proxy involvement, client always awake: the
       baseline transfer time.
     """
-    rows = []
     size = mib(1) if quick else mib(2)
-    for mode in ("split", "passthrough", "bridge"):
-        config = ExperimentConfig(
+    modes = ("split", "passthrough", "bridge")
+    configs = [
+        ExperimentConfig(
             clients=[ClientSpec("ftp", ftp_bytes=size)],
             burst_interval_s=0.5,
             duration_s=60.0 if quick else 180.0,
@@ -332,12 +439,19 @@ def split_connection_ablation(seed: int = 0, quick: bool = False) -> list[dict]:
             scenario=ScenarioConfig(n_clients=1, seed=seed, tcp_mode=mode),
             power_aware_clients=(mode != "bridge"),
         )
-        result = run_experiment(config)
+        for mode in modes
+    ]
+    labels = [{"mode": mode} for mode in modes]
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("split_ablation", configs, labels)
+    )
+    rows = []
+    for label, result in zip(labels, outcome.results):
         report = result.reports[0]
         rows.append(
             {
                 "experiment": "split-ablation",
-                "mode": mode,
+                "mode": label["mode"],
                 "transfer_time_s": report.extra.get("transfer_time_s"),
                 "done": report.extra.get("done"),
                 "energy_saved_pct": report.energy_saved_pct,

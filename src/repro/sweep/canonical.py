@@ -1,0 +1,76 @@
+"""Canonical, byte-stable JSON encoding of run parameters.
+
+Cache keys hash the *meaning* of a run, not its Python object identity,
+so every parameter value must reduce to one canonical JSON text:
+
+* dataclasses become ``{"__dataclass__": "<qualified name>", ...fields}``
+  (the type tag keeps two classes with identical fields from colliding);
+* mappings are emitted with sorted keys, tuples as lists;
+* floats rely on :func:`json.dumps`'s shortest-repr round trip, which is
+  stable across runs and platforms for equal values.
+
+Anything that cannot be encoded deterministically (functions, live
+simulator objects, arbitrary class instances) raises
+:class:`~repro.errors.SweepError` instead of silently producing an
+unstable key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.errors import SweepError
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def canonical_value(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-encodable primitives, deterministically."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (str, int)):
+        return obj
+    if isinstance(obj, float):
+        # -0.0 == 0.0 but reprs differ; normalize so keys agree.
+        return obj + 0.0 if obj == 0.0 else obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded: dict[str, Any] = {
+            "__dataclass__": f"{type(obj).__module__}.{type(obj).__qualname__}"
+        }
+        for field in dataclasses.fields(obj):
+            encoded[field.name] = canonical_value(getattr(obj, field.name))
+        return encoded
+    if isinstance(obj, dict):
+        for key in obj:
+            if not isinstance(key, _PRIMITIVES):
+                raise SweepError(
+                    f"cannot canonicalize mapping key {key!r} "
+                    f"({type(key).__name__})"
+                )
+        return {
+            str(key): canonical_value(value)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        members = [canonical_value(item) for item in obj]
+        try:
+            return sorted(members, key=lambda m: json.dumps(m, sort_keys=True))
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise SweepError(f"cannot order set members of {obj!r}") from exc
+    raise SweepError(
+        f"cannot canonicalize {type(obj).__name__} value {obj!r}; sweep "
+        "parameters must be primitives, containers, or dataclasses"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The one canonical JSON text of ``obj`` (byte-stable)."""
+    return json.dumps(
+        canonical_value(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )

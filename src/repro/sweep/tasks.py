@@ -1,0 +1,108 @@
+"""The registry of task functions a sweep may execute.
+
+Tasks are addressed by *name*, not by function object: the name is part
+of the cache key, and it is what travels to worker processes (which
+re-resolve it locally), so no callable ever needs to be pickled.
+Registered targets are ``"module:qualname"`` strings resolved lazily —
+this keeps :mod:`repro.sweep` importable from the experiment drivers it
+orchestrates without import cycles.
+
+Every task function must be a module-level callable whose keyword
+parameters are canonicalizable (see :mod:`repro.sweep.canonical`) and
+whose return value pickles cleanly.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Optional
+
+from repro.errors import SweepError
+
+#: task name -> "module:qualname" of the callable to invoke.
+_TASKS: dict[str, str] = {
+    "experiment": "repro.experiments.runner:run_experiment",
+    "psm-baseline": "repro.experiments.baselines:_run_one",
+    "dummynet-transfer": "repro.experiments.tables:_dummynet_transfer",
+    "replay-early": "repro.sweep.tasks:_replay_early",
+}
+
+
+def register_task(name: str, target: str, replace: bool = False) -> None:
+    """Register ``name`` -> ``"module:qualname"`` (tests, extensions)."""
+    if ":" not in target:
+        raise SweepError(
+            f"task target {target!r} must be 'module:qualname'"
+        )
+    if name in _TASKS and not replace:
+        raise SweepError(f"task {name!r} already registered")
+    _TASKS[name] = target
+
+
+def resolve_task(name: str) -> Callable[..., Any]:
+    """The callable behind a task name; raises on unknown names."""
+    try:
+        target = _TASKS[name]
+    except KeyError:
+        raise SweepError(
+            f"unknown sweep task {name!r}; known: {', '.join(sorted(_TASKS))}"
+        ) from None
+    module_name, _, qualname = target.partition(":")
+    module = importlib.import_module(module_name)
+    fn = module
+    for part in qualname.split("."):
+        fn = getattr(fn, part)
+    if not callable(fn):
+        raise SweepError(f"task {name!r} target {target!r} is not callable")
+    return fn
+
+
+def sanitize_result(result: Any) -> Any:
+    """Make a task result cache/IPC-safe.
+
+    ``ExperimentResult`` carries the run's live :class:`~repro.obs`
+    recorder for postmortem timeline export; that stream is neither
+    needed by any driver row nor cheap to pickle, so transported
+    results carry the shared ``NULL_RECORDER`` instead (the metrics
+    snapshot dict — plain data — stays). Everything else passes
+    through untouched.
+    """
+    import dataclasses
+
+    from repro.experiments.runner import ExperimentResult
+    from repro.obs import NULL_RECORDER
+
+    if isinstance(result, ExperimentResult):
+        return dataclasses.replace(result, obs=NULL_RECORDER)
+    return result
+
+
+def _replay_early(
+    frames: Any,
+    client_ip: str,
+    power: Any,
+    early_s: float,
+    duration_s: Optional[float] = None,
+    client_kwargs: Optional[dict] = None,
+) -> Any:
+    """Replay one early-transition amount over a recorded capture.
+
+    The adaptive compensator is built *inside* the task so the sweep
+    parameters stay declarative (no callables in the cache key).
+    """
+    from repro.core.delay_comp import AdaptiveCompensator
+    from repro.energy.replay import replay_policy
+    from repro.net.sniffer import FrameRecord
+
+    rebuilt = [
+        frame if isinstance(frame, FrameRecord) else FrameRecord(**frame)
+        for frame in frames
+    ]
+    return replay_policy(
+        rebuilt,
+        client_ip,
+        AdaptiveCompensator(early_s=early_s),
+        power,
+        duration_s=duration_s,
+        client_kwargs=client_kwargs,
+    )

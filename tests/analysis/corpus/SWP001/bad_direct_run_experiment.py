@@ -1,0 +1,12 @@
+# repro: module-path=experiments/figures.py
+"""BAD: a figure driver invokes the simulation runner directly."""
+
+from repro.experiments.runner import run_experiment, video_only
+
+
+def figure_direct(seed: int = 0) -> list[dict]:
+    rows = []
+    for rate in (56, 256):
+        result = run_experiment(video_only([rate] * 4, seed=seed))
+        rows.append({"rate": rate, "saved": result.summary.avg_saved_pct})
+    return rows

@@ -1,0 +1,31 @@
+"""Module-level task functions for the sweep engine tests.
+
+They live in their own importable module (not a test file) so worker
+processes can re-resolve them by ``"module:qualname"`` name.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def double(x: int) -> int:
+    return 2 * x
+
+
+def maybe_none(x: int) -> int | None:
+    """Returns None for even inputs — exercises cached-None handling."""
+    return None if x % 2 == 0 else x
+
+
+def fail_always(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+def fail_once(marker: str, x: int) -> int:
+    """Fails on the first attempt, succeeds once the marker exists."""
+    path = pathlib.Path(marker)
+    if path.exists():
+        return x
+    path.write_text("attempted")
+    raise RuntimeError("first attempt fails")

@@ -1,0 +1,11 @@
+"""Register the test-only sweep tasks (idempotently) for this package."""
+
+from repro.sweep import register_task
+
+for name, target in {
+    "test-double": "tests.sweep._fixtures:double",
+    "test-maybe-none": "tests.sweep._fixtures:maybe_none",
+    "test-fail": "tests.sweep._fixtures:fail_always",
+    "test-fail-once": "tests.sweep._fixtures:fail_once",
+}.items():
+    register_task(name, target, replace=True)

@@ -1,0 +1,83 @@
+"""Canonical JSON: the deterministic cache-key material."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SweepError
+from repro.experiments.runner import ClientSpec, ExperimentConfig
+from repro.sweep import canonical_json, canonical_value
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    x: int
+    y: float
+
+
+class TestCanonicalValue:
+    def test_primitives_pass_through(self):
+        assert canonical_value(3) == 3
+        assert canonical_value(2.5) == 2.5
+        assert canonical_value("s") == "s"
+        assert canonical_value(None) is None
+        assert canonical_value(True) is True
+
+    def test_tuples_become_lists(self):
+        assert canonical_value((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_sets_are_sorted(self):
+        assert canonical_value({3, 1, 2}) == [1, 2, 3]
+
+    def test_dataclasses_are_tagged_with_their_type(self):
+        value = canonical_value(Point(1, 2.0))
+        assert value["__dataclass__"].endswith("Point")
+        assert value["x"] == 1 and value["y"] == 2.0
+
+    def test_unencodable_values_raise(self):
+        with pytest.raises(SweepError):
+            canonical_value(lambda: None)
+        with pytest.raises(SweepError):
+            canonical_value(object())
+
+    def test_non_primitive_dict_keys_raise(self):
+        with pytest.raises(SweepError):
+            canonical_value({(1, 2): "v"})
+
+
+class TestCanonicalJson:
+    def test_key_order_is_normalized(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json(float("nan"))
+
+    def test_experiment_config_roundtrips_stably(self):
+        config = ExperimentConfig(
+            clients=[ClientSpec("video", video_kbps=56), ClientSpec("web")],
+            burst_interval_s=0.5,
+            duration_s=10.0,
+            seed=3,
+        )
+        text = canonical_json({"config": config})
+        assert text == canonical_json({"config": config})
+        assert "ExperimentConfig" in text and "ClientSpec" in text
+
+    def test_config_changes_change_the_json(self):
+        base = ExperimentConfig(
+            clients=[ClientSpec("web")], burst_interval_s=0.5,
+            duration_s=10.0, seed=0,
+        )
+        changed = dataclasses.replace(base, seed=1)
+        assert canonical_json(base) != canonical_json(changed)
+
+    def test_distinct_dataclass_types_never_collide(self):
+        @dataclasses.dataclass(frozen=True)
+        class Other:
+            x: int
+            y: float
+
+        assert canonical_json(Point(1, 2.0)) != canonical_json(Other(1, 2.0))

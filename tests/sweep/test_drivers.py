@@ -1,0 +1,60 @@
+"""Driver integration: warm-cache artifacts perform zero simulations."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.baselines import psm_comparison
+from repro.experiments.tables import drop_effect_dummynet
+from repro.sweep import ResultCache, SweepEngine
+
+
+class TestWarmCacheDrivers:
+    def test_warm_figure6_runs_zero_simulations(self, tmp_path):
+        """Cheap tier-1 stand-in for the figure-4 acceptance test."""
+        kwargs = dict(seed=0, quick=True, early_amounts_ms=(0, 6))
+        cold_engine = SweepEngine(cache=ResultCache(tmp_path))
+        cold = figures.figure6(engine=cold_engine, **kwargs)
+        assert cold_engine.last_report.executed == 2
+
+        warm_engine = SweepEngine(cache=ResultCache(tmp_path))
+        warm = figures.figure6(engine=warm_engine, **kwargs)
+        report = warm_engine.last_report
+        assert report.simulation_runs == 0
+        assert report.cache_hits == report.total == 2
+        assert warm == cold
+
+    @pytest.mark.slow
+    def test_warm_figure4_quick_runs_zero_simulations(self, tmp_path):
+        """The acceptance criterion, verbatim: a warm-cache
+        ``repro figure 4 --quick`` performs zero simulation runs."""
+        cold_engine = SweepEngine(cache=ResultCache(tmp_path))
+        cold = figures.figure4(seed=1, quick=True, engine=cold_engine)
+        assert cold_engine.last_report.executed == 15
+
+        warm_engine = SweepEngine(cache=ResultCache(tmp_path))
+        warm = figures.figure4(seed=1, quick=True, engine=warm_engine)
+        report = warm_engine.last_report
+        assert report.simulation_runs == 0
+        assert report.cache_hits == report.total == 15
+        assert warm == cold
+
+    def test_dummynet_quick_kwarg_shrinks_the_transfer(self, tmp_path):
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        row = drop_effect_dummynet(seed=0, quick=True, engine=engine)
+        assert row["slowdown_fraction"] > 0
+        # quick uses a 1 MiB transfer; both runs executed, none cached.
+        assert engine.last_report.executed == 2
+
+        warm = SweepEngine(cache=ResultCache(tmp_path))
+        again = drop_effect_dummynet(seed=0, quick=True, engine=warm)
+        assert warm.last_report.simulation_runs == 0
+        assert again == row
+
+    def test_psm_comparison_caches_through_the_engine(self, tmp_path):
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        rows = psm_comparison(seed=0, quick=True, engine=engine)
+        assert [row["policy"] for row in rows] == ["naive", "psm", "proxy"]
+        warm = SweepEngine(cache=ResultCache(tmp_path))
+        again = psm_comparison(seed=0, quick=True, engine=warm)
+        assert warm.last_report.simulation_runs == 0
+        assert again == rows

@@ -1,0 +1,86 @@
+"""SweepSpec expansion: ordering, grids, validation."""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.experiments.runner import ClientSpec, ExperimentConfig
+from repro.sweep import RunSpec, SweepSpec
+
+
+def _base() -> ExperimentConfig:
+    return ExperimentConfig(
+        clients=[ClientSpec("web")], burst_interval_s=0.5,
+        duration_s=5.0, seed=0,
+    )
+
+
+class TestFromTasks:
+    def test_runs_are_indexed_in_order(self):
+        spec = SweepSpec.from_tasks(
+            "s", "test-double", [{"x": 1}, {"x": 2}],
+            labels=[{"n": "a"}, {"n": "b"}],
+        )
+        assert [run.index for run in spec] == [0, 1]
+        assert spec.runs[1].params == {"x": 2}
+        assert spec.runs[1].label == {"n": "b"}
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec.from_tasks("s", "test-double", [{"x": 1}], labels=[])
+
+    def test_non_dense_indices_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(
+                name="s",
+                runs=(RunSpec(index=1, task="test-double", params={"x": 1}),),
+            )
+
+
+class TestGrid:
+    def test_axes_product_with_seeds_varying_fastest(self):
+        spec = SweepSpec.grid(
+            "g", _base(),
+            axes={"burst_interval_s": [0.1, 0.5]},
+            seeds=(0, 1),
+        )
+        labels = [dict(run.label) for run in spec]
+        assert labels == [
+            {"burst_interval_s": 0.1, "seed": 0},
+            {"burst_interval_s": 0.1, "seed": 1},
+            {"burst_interval_s": 0.5, "seed": 0},
+            {"burst_interval_s": 0.5, "seed": 1},
+        ]
+        configs = [run.params["config"] for run in spec]
+        assert [c.seed for c in configs] == [0, 1, 0, 1]
+        assert [c.burst_interval_s for c in configs] == [0.1, 0.1, 0.5, 0.5]
+
+    def test_multi_axis_expansion_order(self):
+        spec = SweepSpec.grid(
+            "g", _base(),
+            axes={"burst_interval_s": [0.1, 0.5], "early_s": [0.0, 0.006]},
+        )
+        assert len(spec) == 4
+        first, second = spec.runs[0], spec.runs[1]
+        assert first.label["burst_interval_s"] == 0.1
+        assert first.label["early_s"] == 0.0
+        assert second.label["early_s"] == 0.006
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec.grid("g", _base(), axes={"not_a_field": [1]})
+
+    def test_non_dataclass_base_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec.grid("g", {"seed": 0}, axes={})
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec.grid("g", _base(), axes={}, seeds=())
+
+
+class TestExperiments:
+    def test_wraps_configs_under_the_experiment_task(self):
+        config = _base()
+        spec = SweepSpec.experiments("e", [config])
+        assert spec.runs[0].task == "experiment"
+        assert spec.runs[0].params == {"config": config}
