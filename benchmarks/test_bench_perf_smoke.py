@@ -1,0 +1,53 @@
+"""Perf smoke: cold figure-4 quick grid, ``jobs=1`` vs ``jobs=2``.
+
+The minimal fan-out gate, kept separate from the fuller
+``test_bench_sweep`` so CI can run it as a dedicated perf-smoke job:
+two cold sweeps (no cache), one serial, one parallel. On a multi-core
+host the warm pool must make ``jobs=2`` beat serial outright — the
+regression this guards is the pre-warm-pool state where spawn/import
+cost made parallel *slower* (0.86× in the BENCH_sweep trajectory). On
+a single CPU a genuine speedup is impossible by construction, so only
+the pool's overhead is bounded.
+
+Bench tier (everything under benchmarks/ is); CI opts in with
+``-m bench``.
+"""
+
+import os
+import time
+
+from repro.experiments.figures import figure4
+from repro.sweep import SweepEngine
+
+
+def _cold_figure4(jobs):
+    engine = SweepEngine(jobs=jobs)
+    started = time.perf_counter()
+    rows = figure4(seed=1, quick=True, engine=engine)
+    return rows, time.perf_counter() - started
+
+
+def test_perf_smoke_parallel_beats_serial():
+    serial_rows, serial_s = _cold_figure4(1)
+    parallel_rows, parallel_s = _cold_figure4(2)
+
+    # Same grid, same seeds: fan-out must not change the data.
+    assert parallel_rows == serial_rows
+
+    cpus = os.cpu_count() or 1
+    print(
+        f"\nperf-smoke: serial {serial_s:.2f}s, jobs=2 {parallel_s:.2f}s "
+        f"({cpus} CPU(s))"
+    )
+    if cpus >= 2:
+        assert parallel_s <= serial_s, (
+            f"jobs=2 slower than serial on {cpus} CPUs: "
+            f"{parallel_s:.2f}s vs {serial_s:.2f}s"
+        )
+    else:
+        # One CPU: bound the warm pool's overhead instead (spawn +
+        # dispatch must stay a small fraction of the work).
+        assert parallel_s <= serial_s * 1.35, (
+            f"warm-pool overhead too high on 1 CPU: "
+            f"{parallel_s:.2f}s vs serial {serial_s:.2f}s"
+        )

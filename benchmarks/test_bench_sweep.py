@@ -11,21 +11,34 @@ Gates (quick figure-4 grid, 15 runs):
   contract, checked on the pickled aggregate).
 
 Persists a ``sweep`` rows file (the EXPERIMENTS.md cold-vs-warm table)
-and the ``BENCH_sweep.json`` trajectory.
+and the ``BENCH_sweep.json`` trajectory. Every row carries the code
+fingerprint and the host CPU count (:data:`ROW_SCHEMA`) so trajectory
+entries recorded on different machines — or against different code —
+are interpretable side by side.
 """
 
+import json
 import os
 import pickle
 import time
 
 from repro.experiments.figures import figure4
 from repro.sweep import ResultCache, SweepEngine
+from repro.sweep.cache import code_fingerprint
 
-from benchmarks.bench_utils import print_table, save_results
+from benchmarks.bench_utils import RESULTS_DIR, print_table, save_results
 
 COLUMNS = [
     "mode", "jobs", "wall_s", "executed", "cache_hits", "speedup_vs_cold",
+    "cpus", "fingerprint",
 ]
+
+#: Keys every persisted row must carry (the trajectory schema).
+#: ``fingerprint`` identifies the code under test (12-hex prefix of the
+#: sweep cache's :func:`code_fingerprint`); ``cpus`` the machine it ran
+#: on. Rows predating the schema were backfilled with ``fingerprint:
+#: None`` and the entry-level ``meta.cpus``.
+ROW_SCHEMA = frozenset(COLUMNS)
 
 
 def _timed_figure4(engine):
@@ -52,29 +65,42 @@ def test_bench_sweep(tmp_path):
     serial_engine = SweepEngine(jobs=1)
     serial_rows, serial_s = _timed_figure4(serial_engine)
 
+    cpus = os.cpu_count() or 1
+    fingerprint = code_fingerprint()[:12]
     rows = [
         {
             "mode": "cold-serial", "jobs": 1, "wall_s": cold_s,
             "executed": cold_report.executed,
             "cache_hits": cold_report.cache_hits,
             "speedup_vs_cold": 1.0,
+            "cpus": cpus, "fingerprint": fingerprint,
         },
         {
             "mode": "warm", "jobs": 1, "wall_s": warm_s,
             "executed": warm_report.executed,
             "cache_hits": warm_report.cache_hits,
             "speedup_vs_cold": cold_s / warm_s,
+            "cpus": cpus, "fingerprint": fingerprint,
         },
         {
             "mode": "parallel-uncached", "jobs": 2, "wall_s": parallel_s,
             "executed": parallel_report.executed,
             "cache_hits": parallel_report.cache_hits,
             "speedup_vs_cold": cold_s / parallel_s,
+            "cpus": cpus, "fingerprint": fingerprint,
         },
     ]
-    cpus = os.cpu_count() or 1
     save_results("sweep", rows, meta={"cpus": cpus, "serial_s": serial_s})
     print_table("Sweep orchestration — figure-4 grid (quick)", rows, COLUMNS)
+
+    # Schema gate: every trajectory entry — including backfilled
+    # pre-schema ones — carries the full per-row key set.
+    history = json.loads((RESULTS_DIR / "BENCH_sweep.json").read_text())
+    for entry in history:
+        for row in entry["rows"]:
+            assert ROW_SCHEMA <= set(row), (
+                f"trajectory row missing keys: {sorted(ROW_SCHEMA - set(row))}"
+            )
 
     # Cold run simulates everything; warm run simulates nothing.
     assert cold_report.executed == 15 and cold_report.cache_hits == 0

@@ -14,13 +14,14 @@ from typing import Optional
 
 import numpy as np
 
+from collections import deque
+
 from repro.net.addr import BROADCAST_IP
 from repro.net.node import Interface, Node
 from repro.net.packet import Packet
 from repro.obs.metrics import DEPTH_BUCKETS
 from repro.obs.recorder import Recorder
 from repro.sim.core import Simulator
-from repro.sim.resources import Store
 from repro.sim.trace import TraceRecorder
 from repro.units import ms, us
 
@@ -32,6 +33,51 @@ DEFAULT_SPIKE_PROB = 0.03
 DEFAULT_SPIKE_MAX_S = ms(6)
 #: Fixed base forwarding latency.
 DEFAULT_BASE_DELAY_S = us(300)
+
+
+class _ForwardPath:
+    """One store-and-forward direction of the AP.
+
+    A callback chain rather than a ``Store``-fed generator process —
+    every packet of every flow crosses the AP, so this is one of the
+    busiest spots in a sweep. The heap-push pattern matches the old
+    generator exactly (one wakeup push when an idle path accepts a
+    packet, one jitter-delay push per packet, one wakeup push when a
+    send finds the queue non-empty; the jitter RNG is drawn when the
+    wakeup fires), so schedules stay byte-identical. ``queue`` holds
+    waiting packets only — the packet being delayed is ``_in_flight``,
+    mirroring how the old Store handed the head item to the waiting
+    getter immediately.
+    """
+
+    __slots__ = ("ap", "out_iface", "queue", "busy", "_in_flight")
+
+    def __init__(self, ap: "AccessPoint", out_iface: Interface) -> None:
+        self.ap = ap
+        self.out_iface = out_iface
+        self.queue: deque[Packet] = deque()
+        self.busy = False
+        self._in_flight: Optional[Packet] = None
+
+    def accept(self, packet: Packet) -> None:
+        if self.busy:
+            self.queue.append(packet)
+        else:
+            self.busy = True
+            self._in_flight = packet
+            self.ap.sim.call_later(0.0, self._delay)
+
+    def _delay(self) -> None:
+        self.ap.sim.call_later(self.ap._forwarding_delay(), self._send)
+
+    def _send(self) -> None:
+        self.out_iface.send(self._in_flight)
+        if self.queue:
+            self._in_flight = self.queue.popleft()
+            self.ap.sim.call_later(0.0, self._delay)
+        else:
+            self._in_flight = None
+            self.busy = False
 
 
 class AccessPoint(Node):
@@ -61,11 +107,14 @@ class AccessPoint(Node):
         self.wireless = self.add_interface("wireless")
         # The AP's own broadcasts (e.g. PSM beacons) go on the air.
         self.add_route(BROADCAST_IP, self.wireless)
-        self._downlink: Store = Store(sim)
-        self._uplink: Store = Store(sim)
-        sim.process(self._forwarder(self._downlink, self.wireless))
-        sim.process(self._forwarder(self._uplink, self.wired))
+        self._downlink = _ForwardPath(self, self.wireless)
+        self._uplink = _ForwardPath(self, self.wired)
         self.max_downlink_depth = 0
+        # Resolved on first downlink forward — eager resolution would
+        # register zero-count instruments in traffic-less scenarios and
+        # change metrics snapshots.
+        self._depth_hist = None
+        self._max_depth_gauge = None
 
     def on_receive(self, in_iface: Interface, packet: Packet) -> None:
         """Receive, but relay wired-side broadcasts into the cell first.
@@ -82,19 +131,23 @@ class AccessPoint(Node):
         """Queue a transit packet on the appropriate forwarding path."""
         self.packets_forwarded += 1
         if in_iface is self.wired:
-            self._downlink.put(packet)
-            depth = len(self._downlink)
-            self.max_downlink_depth = max(self.max_downlink_depth, depth)
-            self.obs.observe(
-                "ap.downlink_depth", depth, buckets=DEPTH_BUCKETS,
-                ap=self.name,
-            )
-            self.obs.gauge_set(
-                "ap.max_downlink_depth", self.max_downlink_depth,
-                ap=self.name,
-            )
+            path = self._downlink
+            path.accept(packet)
+            depth = len(path.queue)
+            if depth > self.max_downlink_depth:
+                self.max_downlink_depth = depth
+            hist = self._depth_hist
+            if hist is None:
+                hist = self._depth_hist = self.obs.resolve_histogram(
+                    "ap.downlink_depth", buckets=DEPTH_BUCKETS, ap=self.name
+                )
+                self._max_depth_gauge = self.obs.resolve_gauge(
+                    "ap.max_downlink_depth", ap=self.name
+                )
+            hist.observe(depth)
+            self._max_depth_gauge.set(self.max_downlink_depth)
         else:
-            self._uplink.put(packet)
+            self._uplink.accept(packet)
 
     def _forwarding_delay(self) -> float:
         delay = self.base_delay_s
@@ -104,9 +157,3 @@ class AccessPoint(Node):
             if self.spike_prob > 0 and self.rng.random() < self.spike_prob:
                 delay += self.rng.uniform(0.0, self.spike_max_s)
         return delay
-
-    def _forwarder(self, queue: Store, out_iface: Interface):
-        while True:
-            packet = yield queue.get()
-            yield self.sim.timeout(self._forwarding_delay())
-            out_iface.send(packet)

@@ -55,9 +55,16 @@ class TcpFlags(Flag):
     RST = auto()
 
 
-@dataclass(slots=True)
 class Packet:
     """A single IP packet (UDP datagram or TCP segment).
+
+    A hand-rolled ``__slots__`` class (not a dataclass): packets are
+    the most-allocated object in the simulator after events, and their
+    sizes are read several times per hop, so ``transport_header`` /
+    ``ip_size`` / ``wire_size`` / ``is_broadcast`` are precomputed
+    attributes rather than property chains. Addresses and sizes are
+    treated as immutable after construction (``spoofed`` copies);
+    ``tos_marked`` and ``meta`` stay mutable.
 
     Attributes:
         proto: "udp" or "tcp".
@@ -69,53 +76,61 @@ class Packet:
         flags: TCP control flags.
         tos_marked: IP TOS bit the proxy sets on the last packet of a
             client's burst.
+        sack_blocks: up to 3 received-but-not-yet-cumulative TCP ranges.
         meta: free-form metadata (stream ids, schedule payloads, ...).
         created_at: simulated time the packet was created.
     """
 
-    proto: str
-    src: Endpoint
-    dst: Endpoint
-    payload_size: int = 0
-    seq: int = 0
-    ack: int = 0
-    flags: TcpFlags = TcpFlags.NONE
-    tos_marked: bool = False
-    #: TCP SACK option: up to 3 received-but-not-yet-cumulative ranges.
-    sack_blocks: tuple = ()
-    meta: dict[str, Any] = field(default_factory=dict)
-    created_at: float = 0.0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "proto", "src", "dst", "payload_size", "seq", "ack", "flags",
+        "tos_marked", "sack_blocks", "meta", "created_at", "packet_id",
+        "transport_header", "ip_size", "wire_size", "is_broadcast",
+    )
 
-    def __post_init__(self) -> None:
-        if self.proto not in ("udp", "tcp"):
-            raise NetworkError(f"unknown protocol: {self.proto!r}")
-        if self.payload_size < 0:
-            raise NetworkError(f"negative payload size: {self.payload_size!r}")
-
-    # -- sizes ---------------------------------------------------------------
-
-    @property
-    def transport_header(self) -> int:
-        """Transport header bytes for this packet's protocol."""
-        return UDP_HEADER if self.proto == "udp" else TCP_HEADER
-
-    @property
-    def ip_size(self) -> int:
-        """Bytes at the IP layer (headers + payload)."""
-        return IP_HEADER + self.transport_header + self.payload_size
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes on the wire including link framing."""
-        return LINK_HEADER + self.ip_size
+    def __init__(
+        self,
+        proto: str,
+        src: Endpoint,
+        dst: Endpoint,
+        payload_size: int = 0,
+        seq: int = 0,
+        ack: int = 0,
+        flags: TcpFlags = TcpFlags.NONE,
+        tos_marked: bool = False,
+        sack_blocks: tuple = (),
+        meta: Optional[dict[str, Any]] = None,
+        created_at: float = 0.0,
+        packet_id: Optional[int] = None,
+    ) -> None:
+        if proto == "udp":
+            transport = UDP_HEADER
+        elif proto == "tcp":
+            transport = TCP_HEADER
+        else:
+            raise NetworkError(f"unknown protocol: {proto!r}")
+        if payload_size < 0:
+            raise NetworkError(f"negative payload size: {payload_size!r}")
+        self.proto = proto
+        self.src = src
+        self.dst = dst
+        self.payload_size = payload_size
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.tos_marked = tos_marked
+        self.sack_blocks = sack_blocks
+        self.meta = meta if meta is not None else {}
+        self.created_at = created_at
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        #: Bytes of transport header / at the IP layer / on the wire.
+        self.transport_header = transport
+        ip_size = IP_HEADER + transport + payload_size
+        self.ip_size = ip_size
+        self.wire_size = LINK_HEADER + ip_size
+        #: True for link-local broadcast packets (schedule messages).
+        self.is_broadcast = dst.ip == BROADCAST_IP
 
     # -- helpers ---------------------------------------------------------------
-
-    @property
-    def is_broadcast(self) -> bool:
-        """True for link-local broadcast packets (schedule messages)."""
-        return self.dst.ip == BROADCAST_IP
 
     @property
     def flow(self) -> FlowKey:

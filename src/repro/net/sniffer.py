@@ -9,7 +9,7 @@ hears as a :class:`FrameRecord`. The energy analyzer
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.net.medium import WirelessMedium
@@ -18,12 +18,17 @@ from repro.net.packet import Packet
 from repro.sim.core import Simulator
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class FrameRecord:
     """One captured wireless frame (a tcpdump line, in spirit).
 
     ``start``/``end`` bracket the frame's airtime; energy attribution
     charges receive power for that interval to the addressed client.
+    Treat records as immutable — the class is not ``frozen`` only
+    because the frozen ``__setattr__`` detour made the per-frame
+    capture allocation (one per frame heard, ~75k per quick sweep) a
+    measurable profile line; ``unsafe_hash`` keeps the frozen variant's
+    value hashing.
     """
 
     start: float

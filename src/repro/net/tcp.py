@@ -523,9 +523,8 @@ class TcpConnection:
         self._delack_armed = True
         self._delack_generation += 1
         generation = self._delack_generation
-        self.sim.call_at(
-            self.sim.now + DELAYED_ACK_S,
-            lambda: self._on_delack_timer(generation),
+        self.sim.call_at1(
+            self.sim.now + DELAYED_ACK_S, self._on_delack_timer, generation
         )
 
     def _on_delack_timer(self, generation: int) -> None:
@@ -662,9 +661,7 @@ class TcpConnection:
         self._timer_generation += 1
         self._timer_armed = True
         generation = self._timer_generation
-        self.sim.call_at(
-            self.sim.now + self.rto, lambda: self._on_rto(generation)
-        )
+        self.sim.call_at1(self.sim.now + self.rto, self._on_rto, generation)
 
     def _cancel_timer(self) -> None:
         self._timer_generation += 1

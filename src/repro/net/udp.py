@@ -75,7 +75,7 @@ class UdpSocket:
             dst=dst,
             payload_size=payload_size,
             seq=seq,
-            meta=dict(meta or {}),
+            meta=dict(meta) if meta else {},
             created_at=self.node.sim.now,
         )
         self.datagrams_sent += 1

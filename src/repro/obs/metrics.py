@@ -14,6 +14,7 @@ order or dict iteration.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from typing import Any, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
@@ -38,7 +39,17 @@ DEPTH_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
 
 
 def label_key(labels: Mapping[str, Any]) -> LabelKey:
-    """Canonical, hashable form of a label mapping."""
+    """Canonical, hashable form of a label mapping.
+
+    The 0/1-label cases — the overwhelming majority of hot-path
+    instrument lookups — skip the sort entirely (a 1-tuple is already
+    sorted).
+    """
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        [(key, value)] = labels.items()
+        return ((key, str(value)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -108,12 +119,10 @@ class Histogram:
 
     def observe(self, value: Number) -> None:
         """Record one observation."""
-        index = len(self.buckets)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                index = i
-                break
-        self.counts[index] += 1
+        # bisect_left finds the first bound with value <= bound, i.e.
+        # exactly the bucket a linear <= scan would pick; past-the-end
+        # is the implicit overflow bucket.
+        self.counts[bisect_left(self.buckets, value)] += 1
         self.total += value
         self.count += 1
 
@@ -163,9 +172,10 @@ class MetricsRegistry:
         if instrument is None:
             instrument = Histogram(name, key[1], buckets or SECONDS_BUCKETS)
             self._histograms[key] = instrument
-        elif buckets is not None and instrument.buckets != tuple(
-            float(b) for b in buckets
-        ):
+        # Tuple equality compares by value, so the stored float bounds
+        # match an int-typed declaration of the same ladder directly —
+        # no per-call float() round trip.
+        elif buckets is not None and instrument.buckets != tuple(buckets):
             raise ConfigurationError(
                 f"histogram {name!r} re-declared with different buckets"
             )

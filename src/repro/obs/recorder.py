@@ -38,6 +38,29 @@ class SpanRecord:
     fields: dict[str, Any]
 
 
+class _NullInstrument:
+    """Write-only stand-in for a metrics instrument; discards updates."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared no-op instrument returned by handle resolution when metrics
+#: are off; callers can cache and update it unconditionally.
+NULL_INSTRUMENT = _NullInstrument()
+
+
 class Recorder:
     """Interface (and no-op base) for instrumentation sinks."""
 
@@ -69,6 +92,32 @@ class Recorder:
         **labels: Any,
     ) -> None:
         """Record one histogram observation."""
+
+    # -- resolved handles --------------------------------------------------
+    #
+    # Per-packet call sites (the medium's frame accounting, the AP's
+    # queue-depth gauge) resolve their instrument once and update the
+    # returned handle directly, skipping the per-call label
+    # canonicalization and registry lookup. The handles still come from
+    # the recorder, so observability stays funneled through this class
+    # and turning metrics off yields free no-op handles.
+
+    def resolve_counter(self, name: str, **labels: Any) -> Any:
+        """A cacheable counter handle (no-op when metrics are off)."""
+        return NULL_INSTRUMENT
+
+    def resolve_gauge(self, name: str, **labels: Any) -> Any:
+        """A cacheable gauge handle (no-op when metrics are off)."""
+        return NULL_INSTRUMENT
+
+    def resolve_histogram(
+        self,
+        name: str,
+        buckets: Optional[tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> Any:
+        """A cacheable histogram handle (no-op when metrics are off)."""
+        return NULL_INSTRUMENT
 
     @property
     def spans(self) -> tuple[SpanRecord, ...]:
@@ -124,7 +173,7 @@ class SimRecorder(Recorder):
     # -- events ------------------------------------------------------------
 
     def event(self, time: float, category: str, **fields: Any) -> None:
-        self.trace.record(time, category, **fields)
+        self.trace.record_fields(time, category, fields)
 
     def span(
         self, start: float, end: float, name: str, track: str,
@@ -163,3 +212,23 @@ class SimRecorder(Recorder):
             self.metrics.histogram(name, buckets=buckets, **labels).observe(
                 value
             )
+
+    def resolve_counter(self, name: str, **labels: Any) -> Any:
+        if not self.record_metrics:
+            return NULL_INSTRUMENT
+        return self.metrics.counter(name, **labels)
+
+    def resolve_gauge(self, name: str, **labels: Any) -> Any:
+        if not self.record_metrics:
+            return NULL_INSTRUMENT
+        return self.metrics.gauge(name, **labels)
+
+    def resolve_histogram(
+        self,
+        name: str,
+        buckets: Optional[tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> Any:
+        if not self.record_metrics:
+            return NULL_INSTRUMENT
+        return self.metrics.histogram(name, buckets=buckets, **labels)

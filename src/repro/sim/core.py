@@ -1,18 +1,36 @@
 """Simulator event loop and primitive events.
 
 The kernel is intentionally small: a binary heap of ``(time, priority,
-seq, event)`` tuples and an :class:`Event` type with success/failure
+seq, entry)`` tuples and an :class:`Event` type with success/failure
 semantics. Processes (see :mod:`repro.sim.process`) are built on top of
 these primitives.
 
 Determinism: two events scheduled for the same instant fire in the order
 they were scheduled (the monotonically increasing ``seq`` breaks ties),
 so a simulation with fixed RNG seeds is exactly reproducible.
+
+Performance: this is the hottest code in the repository — a cold
+figure-4 sweep pops over a million heap entries — so the hot paths are
+deliberately flat:
+
+* :meth:`Simulator.run` inlines the pop/advance/dispatch loop instead
+  of calling :meth:`Simulator.step` per event;
+* timer callbacks (:meth:`Simulator.call_later` / ``call_at``) enqueue
+  a tiny :class:`_Callback` cell instead of a full :class:`Event` plus
+  a callback list;
+* :class:`Timeout` initializes its slots and pushes onto the heap
+  directly rather than chaining through ``Event.__init__`` and
+  ``_enqueue``.
+
+Every shortcut preserves the enqueue *order* (one heap push per
+scheduling action, in the same program order), which is what keeps
+same-seed runs byte-identical with the pre-optimization kernel — the
+contract pinned by ``tests/sim/test_kernel_equivalence.py``.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -72,26 +90,37 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError("event has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        sim = self.sim
+        if self._scheduled:
+            raise SimulationError("event is already scheduled")
+        self._scheduled = True
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, NORMAL, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError("event has already been triggered")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        sim = self.sim
+        if self._scheduled:
+            raise SimulationError("event is already scheduled")
+        self._scheduled = True
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, NORMAL, sim._seq, self))
         return self
 
     def _run_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks = self.callbacks
+        self.callbacks = None
         self._processed = True
         if callbacks:
             for callback in callbacks:
@@ -116,11 +145,54 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__ + _enqueue: a Timeout is born
+        # triggered and scheduled, so the generic machinery is pure
+        # overhead on the hottest allocation in the simulator.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._enqueue(self, delay=delay, priority=NORMAL)
+        self._ok = True
+        self._scheduled = True
+        self._processed = False
+        self.delay = delay
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
+
+
+class _Callback:
+    """A bare timer cell: fires ``fn()`` and vanishes.
+
+    Used by :meth:`Simulator.call_later`/``call_at`` for the hundreds of
+    thousands of fire-and-forget timers (link delivery, TCP timer
+    generations, delayed ACKs) that never need Event semantics — no
+    value, no joiners, no callback list.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+
+    def _run_callbacks(self) -> None:
+        self.fn()
+
+
+class _Call1:
+    """Like :class:`_Callback` but carries one argument for ``fn``.
+
+    Saves the lambda/closure allocation at per-packet call sites such
+    as link delivery (``deliver(packet)`` a few hundred thousand times
+    per sweep).
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
+
+    def _run_callbacks(self) -> None:
+        self.fn(self.arg)
 
 
 class AnyOf(Event):
@@ -142,12 +214,12 @@ class AnyOf(Event):
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not Event._PENDING:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
-        fired = {e: e.value for e in self._events if e.processed and e.ok}
+        fired = {e: e._value for e in self._events if e._processed and e._ok}
         self.succeed(fired)
 
 
@@ -167,22 +239,26 @@ class AllOf(Event):
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not Event._PENDING:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed({e: e.value for e in self._events})
+            self.succeed({e: e._value for e in self._events})
 
 
 class Simulator:
     """Discrete-event simulator with a heap-based event loop."""
 
+    #: Lazily resolved ``repro.sim.process.Process`` (import cycle:
+    #: process.py imports this module at import time).
+    _process_cls: Optional[type] = None
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = 0
 
     @property
@@ -197,7 +273,7 @@ class Simulator:
             raise SimulationError("event is already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
     def event(self) -> Event:
         """Create a fresh, untriggered event."""
@@ -217,19 +293,53 @@ class Simulator:
 
     def process(self, generator) -> "Process":
         """Start a new process from a generator (see :class:`Process`)."""
-        from repro.sim.process import Process
+        cls = Simulator._process_cls
+        if cls is None:
+            from repro.sim.process import Process
 
-        return Process(self, generator)
+            Simulator._process_cls = cls = Process
+        return cls(self, generator)
 
-    def call_at(self, when: float, func: Callable[[], None]) -> Event:
+    def call_later(self, delay: float, func: Callable[[], None]) -> None:
+        """Run ``func()`` ``delay`` seconds from now (fire-and-forget).
+
+        The cheap sibling of :meth:`call_at`: one heap push, no Event.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative call_later delay: {delay!r}")
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, NORMAL, self._seq, _Callback(func)))
+
+    def call_later1(
+        self, delay: float, func: Callable[[Any], None], arg: Any
+    ) -> None:
+        """Run ``func(arg)`` ``delay`` seconds from now (fire-and-forget)."""
+        if delay < 0:
+            raise SimulationError(f"negative call_later delay: {delay!r}")
+        self._seq += 1
+        heappush(
+            self._heap, (self._now + delay, NORMAL, self._seq, _Call1(func, arg))
+        )
+
+    def call_at(self, when: float, func: Callable[[], None]) -> None:
         """Run ``func()`` at absolute simulated time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {when} < now={self._now}"
             )
-        event = self.timeout(when - self._now)
-        event.add_callback(lambda _e: func())
-        return event
+        self._seq += 1
+        heappush(self._heap, (when, NORMAL, self._seq, _Callback(func)))
+
+    def call_at1(
+        self, when: float, func: Callable[[Any], None], arg: Any
+    ) -> None:
+        """Run ``func(arg)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self._now}"
+            )
+        self._seq += 1
+        heappush(self._heap, (when, NORMAL, self._seq, _Call1(func, arg)))
 
     # -- running --------------------------------------------------------------
 
@@ -246,11 +356,11 @@ class Simulator:
         """
         if not self._heap:
             raise SimulationError("no scheduled events to step")
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, _priority, _seq, entry = heappop(self._heap)
         if when < self._now:
             raise SimulationError("event heap corrupted: time went backwards")
         self._now = when
-        event._run_callbacks()
+        entry._run_callbacks()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or ``until`` (exclusive of later events).
@@ -258,12 +368,19 @@ class Simulator:
         When ``until`` is given, simulated time is advanced to exactly
         ``until`` even if no event falls on that instant.
         """
+        # The loop body is step() inlined: at >1M events per sweep the
+        # method dispatch and repeated attribute loads are measurable.
+        heap = self._heap
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                entry = heappop(heap)
+                self._now = entry[0]
+                entry[3]._run_callbacks()
             return
         if until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        while heap and heap[0][0] <= until:
+            entry = heappop(heap)
+            self._now = entry[0]
+            entry[3]._run_callbacks()
         self._now = until

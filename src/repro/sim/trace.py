@@ -8,13 +8,16 @@ monitoring station used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 
-@dataclass(frozen=True, slots=True)
 class TraceRecord:
-    """A single trace row.
+    """A single trace row (treat as immutable once recorded).
+
+    A plain ``__slots__`` class rather than a frozen dataclass: rows
+    are allocated once per instrumented event (hundreds of thousands
+    per run) and the frozen-dataclass ``__setattr__`` detour showed up
+    in sweep profiles.
 
     Attributes:
         time: simulated timestamp in seconds.
@@ -22,9 +25,23 @@ class TraceRecord:
         fields: arbitrary structured payload.
     """
 
-    time: float
-    category: str
-    fields: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "fields")
+
+    def __init__(
+        self,
+        time: float,
+        category: str,
+        fields: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.fields = {} if fields is None else fields
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceRecord(time={self.time!r}, category={self.category!r}, "
+            f"fields={self.fields!r})"
+        )
 
 
 class TraceRecorder:
@@ -38,9 +55,21 @@ class TraceRecorder:
 
     def record(self, time: float, category: str, **fields: Any) -> TraceRecord:
         """Append a record and return it."""
-        row = TraceRecord(time=time, category=category, fields=fields)
+        row = TraceRecord(time, category, fields)
         self._records.append(row)
         return row
+
+    def record_fields(
+        self, time: float, category: str, fields: dict[str, Any]
+    ) -> None:
+        """Append a record taking ownership of an existing ``fields`` dict.
+
+        The hot-path sibling of :meth:`record`: the recorder already
+        collected the event's fields as a kwargs dict, so re-splatting
+        them through ``**fields`` would build the same dict twice per
+        event. The caller must not mutate ``fields`` afterwards.
+        """
+        self._records.append(TraceRecord(time, category, fields))
 
     def all(self) -> tuple[TraceRecord, ...]:
         """Every record in insertion (and therefore time) order."""

@@ -11,7 +11,8 @@ baseline, the postmortem replay sweep) runs through this subsystem:
   fingerprint), so repeated figure/table/report invocations are
   warm-cache instant;
 * :class:`~repro.sweep.engine.SweepEngine` — serial (``jobs=1``) or
-  ``ProcessPoolExecutor`` execution with per-run failure isolation and
+  warm-pool execution (:mod:`repro.sweep.pool`: persistent preloaded
+  workers, chunked dispatch) with per-run failure isolation and
   bounded retries; aggregated output is ordered by spec index and
   byte-identical to the serial path;
 * :class:`~repro.sweep.engine.ExecutionReport` — cache hits/misses,
@@ -30,8 +31,9 @@ from repro.sweep.engine import (
     SweepEngine,
     SweepOutcome,
 )
+from repro.sweep.pool import WarmPool, shared_pool
 from repro.sweep.spec import RunSpec, SweepSpec
-from repro.sweep.tasks import register_task, resolve_task
+from repro.sweep.tasks import register_task, resolve_task, task_targets
 
 __all__ = [
     "ExecutionReport",
@@ -41,10 +43,13 @@ __all__ = [
     "SweepEngine",
     "SweepOutcome",
     "SweepSpec",
+    "WarmPool",
     "canonical_json",
     "canonical_value",
     "code_fingerprint",
     "register_task",
     "resolve_task",
     "run_key",
+    "shared_pool",
+    "task_targets",
 ]

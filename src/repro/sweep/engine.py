@@ -14,15 +14,16 @@ from __future__ import annotations
 import pickle
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import ConfigurationError, SweepExecutionError
 from repro.obs import NULL_RECORDER, Recorder
 from repro.sweep.cache import ResultCache, run_key
+from repro.sweep.pool import chunk_runs, shared_pool
 from repro.sweep.spec import RunSpec, SweepSpec
-from repro.sweep.tasks import resolve_task, sanitize_result
+from repro.sweep.tasks import resolve_task, sanitize_result, task_targets
 
 
 @dataclass
@@ -296,32 +297,46 @@ class SweepEngine:
         results: list[Any],
         report: ExecutionReport,
     ) -> None:
+        """Fan pending runs out over the shared warm pool.
+
+        Runs are dispatched in contiguous chunks (one pickling round
+        trip for several short runs); chunk composition is pure
+        transport and cannot affect results. Failed runs are retried as
+        single-run chunks for isolation; a dead worker (OOM, signal)
+        breaks the whole chunk, so the pool is rebuilt and each of the
+        chunk's runs retries individually.
+        """
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            started_at: dict = {}
-            attempts: dict = {}
+        pool = shared_pool(workers)
+        registry = task_targets({run.task for run in pending})
+        attempts: dict[int, int] = {}
 
-            def submit(run: RunSpec):
+        def submit(runs: list[RunSpec]):
+            for run in runs:
                 attempts[run.index] = attempts.get(run.index, 0) + 1
-                started_at.setdefault(run.index, time.perf_counter())
-                future = pool.submit(_execute_run, run.task, dict(run.params))
-                return future
+            items = [(run.task, dict(run.params)) for run in runs]
+            return pool.submit_chunk(items, registry)
 
-            live = {submit(run): run for run in pending}
-            while live:
-                done, _ = wait(live, return_when=FIRST_COMPLETED)
-                for future in done:
-                    run = live.pop(future)
-                    try:
-                        ok, payload = future.result()
-                    except Exception:  # repro: noqa[ERR002] -- a dead worker (OOM, signal) becomes a retryable per-run failure, re-raised after retries
-                        ok, payload = False, traceback.format_exc()
+        live = {
+            submit(pending[start:stop]): pending[start:stop]
+            for start, stop in chunk_runs(len(pending), workers)
+        }
+        while live:
+            done, _ = wait(live, return_when=FIRST_COMPLETED)
+            for future in done:
+                runs = live.pop(future)
+                try:
+                    triples = future.result()
+                except Exception:  # repro: noqa[ERR002] -- a dead worker (OOM, signal) becomes a retryable per-run failure, re-raised after retries
+                    pool.rebuild()
+                    error = traceback.format_exc()
+                    triples = [(False, error, 0.0)] * len(runs)
+                for run, (ok, payload, wall_s) in zip(runs, triples):
                     if not ok and attempts[run.index] <= self.retries:
-                        live[submit(run)] = run
+                        live[submit([run])] = [run]
                         continue
                     self._finish_run(
-                        run, ok, payload, attempts[run.index],
-                        time.perf_counter() - started_at[run.index],
+                        run, ok, payload, attempts[run.index], wall_s,
                         results, report,
                     )
 

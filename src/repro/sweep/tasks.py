@@ -39,6 +39,25 @@ def register_task(name: str, target: str, replace: bool = False) -> None:
     _TASKS[name] = target
 
 
+def task_targets(names: Any) -> dict[str, str]:
+    """The ``name -> "module:qualname"`` entries behind ``names``.
+
+    Shipped with every warm-pool chunk so long-lived workers resolve
+    tasks registered after they spawned (per-worker registry sync).
+    Unknown names fail here, in the parent, before any dispatch.
+    """
+    targets = {}
+    for name in sorted(names):
+        try:
+            targets[name] = _TASKS[name]
+        except KeyError:
+            raise SweepError(
+                f"unknown sweep task {name!r}; "
+                f"known: {', '.join(sorted(_TASKS))}"
+            ) from None
+    return targets
+
+
 def resolve_task(name: str) -> Callable[..., Any]:
     """The callable behind a task name; raises on unknown names."""
     try:

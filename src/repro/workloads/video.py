@@ -110,7 +110,11 @@ class VideoServerApp:
             on_receive=self._on_feedback,
         )
         self.done = False
-        self.sim.process(self._stream())
+        self._end_at = 0.0
+        self._segment_left = 0
+        self._spacing = 0.0
+        # Same single push at construction as the old process bootstrap.
+        self.sim.call_later(0.0, self._start)
 
     def _on_feedback(self, packet: Packet) -> None:
         if not self.config.adaptive:
@@ -122,13 +126,31 @@ class VideoServerApp:
                 self.current_tier = TIERS[index + 1]
                 self.downshifts += 1
 
-    def _stream(self):
+    # The stream is a callback chain (one timer per packet) rather than
+    # a generator process. Per tick the chain makes exactly one heap
+    # push at the instant the old ``yield sim.timeout(spacing)`` did,
+    # and the per-segment VBR draw happens at the same tick it did in
+    # the generator, so the packet timeline — and the shared RNG stream
+    # — are byte-identical.
+
+    def _start(self) -> None:
+        sim = self.sim
+        if self.start_at > sim.now:
+            sim.call_later(self.start_at - sim.now, self._begin)
+        else:
+            self._begin()
+
+    def _begin(self) -> None:
+        self._end_at = self.sim.now + self.config.duration_s
+        self._tick()
+
+    def _tick(self) -> None:
         sim = self.sim
         config = self.config
-        if self.start_at > sim.now:
-            yield sim.timeout(self.start_at - sim.now)
-        end_at = sim.now + config.duration_s
-        while sim.now < end_at:
+        if sim.now >= self._end_at:
+            self.done = True
+            return
+        if self._segment_left == 0:
             rate = EFFECTIVE_BITRATE_BPS[self.current_tier]
             factor = float(
                 np.exp(self.rng.normal(0.0, config.rate_sigma))
@@ -138,21 +160,19 @@ class VideoServerApp:
                 int(rate * factor * config.segment_s / 8),
             )
             n_packets = max(1, round(segment_bytes / config.packet_payload))
-            spacing = config.segment_s / n_packets
-            for _ in range(n_packets):
-                if sim.now >= end_at:
-                    break
-                self._socket.sendto(
-                    config.packet_payload,
-                    self.client_endpoint,
-                    seq=self._seq,
-                    meta={"stream": "video", "tier": self.current_tier},
-                )
-                self._seq += 1
-                self.packets_sent += 1
-                self.bytes_sent += config.packet_payload
-                yield sim.timeout(spacing)
-        self.done = True
+            self._segment_left = n_packets
+            self._spacing = config.segment_s / n_packets
+        self._socket.sendto(
+            config.packet_payload,
+            self.client_endpoint,
+            seq=self._seq,
+            meta={"stream": "video", "tier": self.current_tier},
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self.bytes_sent += config.packet_payload
+        self._segment_left -= 1
+        sim.call_later(self._spacing, self._tick)
 
 
 class VideoClientApp:

@@ -1,0 +1,156 @@
+"""Kernel-equivalence goldens: the optimized event core must be
+byte-identical to the pre-optimization kernel.
+
+The speed program (fast event loop, lightweight timer entries,
+slotted packets, warm worker pool) is only allowed to change *wall
+time*, never behaviour. This suite pins three end-to-end scenarios —
+static, dynamic, dynamic+faults — to SHA-256 digests of their canonical
+metrics JSON and event-stream JSONL, plus the exact energy totals,
+all captured **before** the kernel rewrite. Any ordering drift in the
+event heap, a dropped or duplicated timer, or a change to per-packet
+bookkeeping moves the bytes and fails here.
+
+These goldens are deliberately separate from ``tests/obs/goldens``:
+those pin the observability layer's output format; these pin the
+*kernel's* behaviour across rewrites, with their own scenarios and
+seeds, so re-blessing one suite cannot silently launder a regression
+through the other.
+
+Re-bless after an intentional behaviour change with::
+
+    PYTHONPATH=src python tools/capture_kernel_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ClientSpec, ExperimentConfig, run_experiment
+from repro.faults import FaultPlan, Window
+from repro.obs import digest, events_jsonl, metrics_json
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+DIGEST_FILE = GOLDEN_DIR / "kernel_digests.json"
+
+
+def _static_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=56),
+                 ClientSpec("video", video_kbps=256)],
+        burst_interval_s=0.1,
+        scheduler="static",
+        duration_s=2.5,
+        warmup_s=0.2,
+        start_stagger_s=0.25,
+        seed=11,
+    )
+
+
+def _dynamic_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=128),
+                 ClientSpec("web"),
+                 ClientSpec("ftp", ftp_bytes=64 * 1024)],
+        burst_interval_s=0.1,
+        duration_s=2.5,
+        warmup_s=0.2,
+        start_stagger_s=0.25,
+        seed=11,
+    )
+
+
+def _dynamic_faults_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=128),
+                 ClientSpec("web")],
+        burst_interval_s=0.1,
+        duration_s=3.0,
+        warmup_s=0.2,
+        start_stagger_s=0.25,
+        seed=11,
+        faults=FaultPlan(
+            loss_rate=0.04,
+            duplicate_rate=0.01,
+            outages=(Window(1.0, 1.2),),
+        ),
+    )
+
+
+SCENARIOS = {
+    "static": _static_config,
+    "dynamic": _dynamic_config,
+    "dynamic_faults": _dynamic_faults_config,
+}
+
+
+def energy_totals(result) -> dict:
+    """The exact (not rounded) energy figures a kernel rewrite must
+    reproduce, as plain JSON-stable data."""
+    return {
+        "avg_saved_pct": result.summary.avg_saved_pct,
+        "min_saved_pct": result.summary.min_saved_pct,
+        "max_saved_pct": result.summary.max_saved_pct,
+        "avg_loss_pct": result.summary.avg_loss_pct,
+        "per_client_joules": [
+            report.energy_j for report in result.reports
+        ],
+        "per_client_saved_pct": [
+            report.energy_saved_pct for report in result.reports
+        ],
+        "medium_frames": result.medium_frames,
+        "medium_misses": result.medium_misses,
+        "schedules_sent": result.schedules_sent,
+        "fault_counters": dict(sorted(result.fault_counters.items())),
+    }
+
+
+def run_scenario(name: str) -> dict:
+    """One scenario's complete equivalence surface."""
+    result = run_experiment(SCENARIOS[name]())
+    return {
+        "metrics.json": metrics_json(result.obs),
+        "events.jsonl": events_jsonl(result.obs),
+        "energy": energy_totals(result),
+    }
+
+
+def _stored_digests() -> dict:
+    assert DIGEST_FILE.exists(), (
+        "kernel goldens missing; capture them with "
+        "`PYTHONPATH=src python tools/capture_kernel_goldens.py`"
+    )
+    return json.loads(DIGEST_FILE.read_text())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_kernel_equivalence(name):
+    produced = run_scenario(name)
+    golden = _stored_digests()[name]
+
+    # Energy totals first: a mismatch here gives the most readable
+    # failure (exact floats, not hashes).
+    assert produced["energy"] == golden["energy"]
+
+    for suffix in ("metrics.json", "events.jsonl"):
+        actual = digest(produced[suffix])
+        assert actual == golden[suffix], (
+            f"{name}.{suffix}: digest {actual} != golden {golden[suffix]} — "
+            "the kernel is no longer trace-equivalent; diff against "
+            f"tests/sim/goldens/{name}.{suffix}"
+        )
+
+
+@pytest.mark.slow
+def test_goldens_match_stored_text():
+    """The stored golden text files themselves hash to the recorded
+    digests (guards against hand-edits to one but not the other)."""
+    digests = _stored_digests()
+    for name, entry in digests.items():
+        for suffix in ("metrics.json", "events.jsonl"):
+            path = GOLDEN_DIR / f"{name}.{suffix}"
+            assert path.exists(), f"missing golden text {path.name}"
+            assert digest(path.read_text()) == entry[suffix], (
+                f"{path.name} does not match its recorded digest"
+            )

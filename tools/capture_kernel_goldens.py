@@ -1,0 +1,50 @@
+"""(Re-)capture the kernel-equivalence goldens.
+
+Runs the three scenarios pinned by ``tests/sim/test_kernel_equivalence``
+and writes their canonical exports, digests and exact energy totals to
+``tests/sim/goldens/``. Only run this after an *intentional* behaviour
+change — the whole point of the suite is that kernel speed work never
+needs a re-bless.
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_kernel_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
+
+from sim.test_kernel_equivalence import (  # noqa: E402
+    DIGEST_FILE,
+    GOLDEN_DIR,
+    SCENARIOS,
+    run_scenario,
+)
+
+from repro.obs import digest  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    digests: dict = {}
+    for name in sorted(SCENARIOS):
+        produced = run_scenario(name)
+        entry: dict = {"energy": produced["energy"]}
+        for suffix in ("metrics.json", "events.jsonl"):
+            (GOLDEN_DIR / f"{name}.{suffix}").write_text(produced[suffix])
+            entry[suffix] = digest(produced[suffix])
+        digests[name] = entry
+        print(f"captured {name}: {entry['events.jsonl'][:16]}…")
+    DIGEST_FILE.write_text(
+        json.dumps(digests, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {DIGEST_FILE}")
+
+
+if __name__ == "__main__":
+    main()
