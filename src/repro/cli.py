@@ -495,6 +495,64 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_loadtest(args) -> int:
+    import asyncio
+
+    from repro.faults import FaultPlan
+    from repro.runtime import LoadTestConfig, run_loadtest
+    from repro.runtime.proxy import AsyncProxyConfig
+
+    plan = None
+    if (
+        args.fault_loss
+        or args.fault_outage
+        or args.fault_blackout
+        or args.fault_churn
+    ):
+        plan = FaultPlan(
+            loss_rate=args.fault_loss,
+            outages=tuple(parse_window(w) for w in args.fault_outage),
+            schedule_blackouts=tuple(
+                parse_window(w) for w in args.fault_blackout
+            ),
+            churn=tuple(parse_churn(c) for c in args.fault_churn),
+        )
+    config = LoadTestConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        bytes_per_request=args.bytes,
+        burst_interval_s=parse_interval(args.interval),
+        origin_pace_s=args.pace_ms / 1000.0,
+        timeout_s=args.timeout,
+        plan=plan,
+        seed=args.seed,
+        proxy=AsyncProxyConfig(
+            queue_high_bytes=args.queue_high,
+            queue_low_bytes=min(args.queue_high, args.queue_low),
+            silence_timeout_s=args.silence_timeout,
+            evict_timeout_s=max(args.evict_timeout, args.silence_timeout),
+        ),
+    )
+    report = asyncio.run(run_loadtest(config))
+    print_rows(report.summary_rows(), args.json)
+    if not args.json:
+        print(
+            f"\n{report.bytes_received / 1024:.0f} KiB in "
+            f"{report.duration_s:.2f}s  "
+            f"peak buffer {report.peak_buffered_bytes / 1024:.0f} KiB  "
+            f"schedules {report.schedules_sent}  "
+            f"slots reclaimed {report.slots_reclaimed}  "
+            f"chaos dropped {report.chaos_dropped}"
+        )
+        if report.watermark_exceeded:
+            print(
+                "WATERMARK EXCEEDED: peak per-client queue "
+                f"{report.peak_queue_bytes} B > high watermark "
+                f"{report.queue_high_bytes} B + one chunk"
+            )
+    return 1 if report.watermark_exceeded else 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -685,6 +743,52 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--statistics", action="store_true",
                          help="append per-rule finding counts")
     analyze.set_defaults(func=cmd_analyze)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="load-test the live proxy on loopback (optionally under chaos)",
+    )
+    loadtest.add_argument("--clients", type=int, default=8)
+    loadtest.add_argument("--requests", type=int, default=4,
+                          help="requests per client")
+    loadtest.add_argument("--bytes", type=int, default=64_000,
+                          help="bytes per request")
+    loadtest.add_argument("--interval", default="50ms",
+                          help="burst interval (e.g. 50ms, 0.1)")
+    loadtest.add_argument("--pace-ms", type=float, default=0.0,
+                          help="origin pacing per chunk (0 = blast)")
+    loadtest.add_argument("--timeout", type=float, default=30.0,
+                          help="per-request client timeout (seconds)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="chaos decision seed")
+    loadtest.add_argument("--queue-high", type=int, default=2 * 1024 * 1024,
+                          metavar="BYTES",
+                          help="per-client queue high watermark")
+    loadtest.add_argument("--queue-low", type=int, default=512 * 1024,
+                          metavar="BYTES",
+                          help="per-client queue low watermark")
+    loadtest.add_argument("--silence-timeout", type=float, default=2.0,
+                          help="uplink silence before slot reclaim (s)")
+    loadtest.add_argument("--evict-timeout", type=float, default=6.0,
+                          help="uplink silence before eviction (s)")
+    chaos = loadtest.add_argument_group(
+        "chaos (FaultPlan semantics on the wall clock; see "
+        "repro.runtime.chaos)"
+    )
+    chaos.add_argument("--fault-loss", type=float, default=0.0,
+                       metavar="RATE", help="iid control-datagram loss rate")
+    chaos.add_argument("--fault-outage", action="append", default=[],
+                       metavar="START:END",
+                       help="origin-kill + control-blackout window "
+                            "(repeatable)")
+    chaos.add_argument("--fault-blackout", action="append", default=[],
+                       metavar="START:END",
+                       help="schedule-only blackout window (repeatable)")
+    chaos.add_argument("--fault-churn", action="append", default=[],
+                       metavar="CLIENT:LEAVE[:REJOIN]",
+                       help="client vanish/rejoin event (repeatable)")
+    loadtest.add_argument("--json", action="store_true")
+    loadtest.set_defaults(func=cmd_loadtest)
 
     demo = sub.add_parser("demo", help="live asyncio proxy demo")
     demo.add_argument("--clients", type=int, default=2)

@@ -35,6 +35,14 @@ class SocketError(NetworkError):
     """Socket misuse (double bind, send on closed socket, ...)."""
 
 
+class OverloadError(NetworkError):
+    """The live proxy refused admission (connection/byte limits hit)."""
+
+
+class ProxyProtocolError(NetworkError):
+    """The live proxy rejected a CONNECT handshake or status line."""
+
+
 class SchedulingError(ReproError):
     """Errors raised by the proxy scheduling policies."""
 

@@ -19,13 +19,23 @@ transitions around rendezvous points — matches the simulated proxy.
 
 from repro.runtime.proxy import AsyncProxy, AsyncProxyConfig
 from repro.runtime.client import AsyncPowerClient, VirtualWnic
+from repro.runtime.chaos import ChaosShim
+from repro.runtime.loadtest import LoadTestConfig, LoadTestReport, run_loadtest
+from repro.runtime.origin import SpeedTestOrigin
+from repro.runtime.supervisor import TaskSupervisor
 from repro.runtime.wire import RuntimeSchedule, RuntimeSlot
 
 __all__ = [
     "AsyncPowerClient",
     "AsyncProxy",
     "AsyncProxyConfig",
+    "ChaosShim",
+    "LoadTestConfig",
+    "LoadTestReport",
     "RuntimeSchedule",
     "RuntimeSlot",
+    "SpeedTestOrigin",
+    "TaskSupervisor",
     "VirtualWnic",
+    "run_loadtest",
 ]

@@ -13,35 +13,22 @@ import asyncio
 from dataclasses import dataclass
 
 from repro.runtime.client import AsyncPowerClient
+from repro.runtime.origin import SpeedTestOrigin
 from repro.runtime.proxy import AsyncProxy, AsyncProxyConfig
 
 
-async def start_byte_server(host: str = "127.0.0.1") -> tuple[asyncio.AbstractServer, int]:
-    """An origin server: reads ``GET <nbytes>\\n`` and streams that many
-    zero bytes back, paced in small chunks (a crude CBR stream)."""
+async def start_byte_server(
+    host: str = "127.0.0.1",
+) -> tuple[SpeedTestOrigin, int]:
+    """A paced origin byte server (see :class:`SpeedTestOrigin`).
 
-    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-        try:
-            header = await reader.readline()
-            parts = header.decode().split()
-            if len(parts) != 2 or parts[0] != "GET":
-                writer.close()
-                return
-            remaining = int(parts[1])
-            chunk = 8192
-            while remaining > 0:
-                n = min(chunk, remaining)
-                writer.write(b"\0" * n)
-                await writer.drain()
-                remaining -= n
-                await asyncio.sleep(0.005)  # pace like a stream
-            writer.close()
-        except (ConnectionError, ValueError, asyncio.CancelledError):
-            pass
-
-    server = await asyncio.start_server(handle, host, 0)
-    port = server.sockets[0].getsockname()[1]
-    return server, port
+    Kept for backward compatibility; returns ``(origin, port)`` where
+    ``origin`` supports ``close()`` + ``wait_closed()`` like the old
+    raw ``asyncio.AbstractServer``.
+    """
+    origin = SpeedTestOrigin(host=host, pace_s=0.005)
+    port = await origin.start()
+    return origin, port
 
 
 @dataclass
@@ -86,8 +73,7 @@ async def run_demo(
         )
     finally:
         await proxy.stop()
-        origin_server.close()
-        await origin_server.wait_closed()
+        await origin_server.stop()
 
     results = []
     for client, payload in zip(clients, payloads):

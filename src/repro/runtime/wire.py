@@ -151,6 +151,68 @@ def encode_mark(client_id: str, seq: int) -> bytes:
     return json.dumps({"type": "mark", "client_id": client_id, "seq": seq}).encode()
 
 
+def encode_heartbeat(client_id: str, seq: int) -> bytes:
+    """A client→proxy liveness heartbeat.
+
+    Clients answer every schedule datagram with one of these, so the
+    proxy observes uplink liveness even when the TCP data path is idle
+    (the live analog of the simulated proxy's passive ``last_uplink``
+    bridging signal). A vanished client stops heartbeating and ages out
+    of the schedule.
+    """
+    return json.dumps(
+        {"type": "heartbeat", "client_id": client_id, "seq": seq}
+    ).encode()
+
+
+def decode_heartbeat(payload: bytes) -> tuple[str, int]:
+    """Parse a heartbeat datagram into ``(client_id, seq)``."""
+    raw = _loads_object(payload, "heartbeat")
+    if raw.get("type") != "heartbeat":
+        raise SchedulingError(f"not a heartbeat datagram: {raw.get('type')!r}")
+    client_id = raw.get("client_id")
+    if not isinstance(client_id, str) or not client_id:
+        raise SchedulingError(
+            f"heartbeat field 'client_id' must be a non-empty string, "
+            f"got {client_id!r}"
+        )
+    return client_id, _integer(raw, "seq", minimum=0)
+
+
+# -- CONNECT status lines ----------------------------------------------------
+#
+# After the client's CONNECT header the proxy answers with exactly one
+# status line before any relayed bytes: ``OK\n`` once the origin dial
+# succeeded, or ``ERR <reason>\n`` (overloaded, bad-connect,
+# origin-unreachable) right before closing. The explicit line lets a
+# client distinguish "proxy shed my connection" from "origin sent
+# nothing" — the admission-control contract the demo protocol lacked.
+
+STATUS_OK = b"OK\n"
+
+
+def encode_status_error(reason: str) -> bytes:
+    """The refusal status line for ``reason`` (a single token)."""
+    if not reason or any(c.isspace() for c in reason):
+        raise SchedulingError(f"status reason must be one token: {reason!r}")
+    return f"ERR {reason}\n".encode()
+
+
+def decode_status_line(line: bytes) -> Optional[str]:
+    """Parse a CONNECT status line.
+
+    Returns ``None`` for success (``OK``) or the refusal reason string;
+    raises :class:`SchedulingError` for anything malformed.
+    """
+    text = line.decode("ascii", errors="replace").strip()
+    if text == "OK":
+        return None
+    parts = text.split()
+    if len(parts) == 2 and parts[0] == "ERR":
+        return parts[1]
+    raise SchedulingError(f"bad CONNECT status line: {line!r}")
+
+
 def decode_control(payload: bytes) -> dict:
     """Decode any control datagram (schedule or mark)."""
     raw = _loads_object(payload, "control")
