@@ -9,11 +9,23 @@ taxonomy. See DESIGN.md "Determinism invariants" for the rule list.
 """
 
 from repro.analysis.baseline import (
+    NEVER_BASELINED,
     filter_baselined,
     load_baseline,
     write_baseline,
 )
+from repro.analysis.cfg import (
+    CFG,
+    BasicBlock,
+    build_cfg,
+    iter_function_defs,
+)
 from repro.analysis.config import EVERYWHERE, AnalysisConfig
+from repro.analysis.dataflow import (
+    DataflowResult,
+    ForwardAnalysis,
+    run_forward,
+)
 from repro.analysis.engine import (
     PARSE_RULE,
     UNUSED_SUPPRESSION_RULE,
@@ -23,14 +35,24 @@ from repro.analysis.engine import (
     module_path_for,
 )
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.output import RENDERERS, render_statistics
+from repro.analysis.incremental import changed_python_files, restrict_to
+from repro.analysis.output import (
+    RENDERERS,
+    render_sarif,
+    render_statistics,
+)
 from repro.analysis.registry import RULES, ModuleContext, Rule
 
 __all__ = [
     "AnalysisConfig",
+    "BasicBlock",
+    "CFG",
+    "DataflowResult",
     "EVERYWHERE",
     "Finding",
+    "ForwardAnalysis",
     "ModuleContext",
+    "NEVER_BASELINED",
     "PARSE_RULE",
     "RENDERERS",
     "RULES",
@@ -40,9 +62,15 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "build_cfg",
+    "changed_python_files",
     "filter_baselined",
+    "iter_function_defs",
     "load_baseline",
     "module_path_for",
+    "render_sarif",
     "render_statistics",
+    "restrict_to",
+    "run_forward",
     "write_baseline",
 ]

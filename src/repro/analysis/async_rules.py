@@ -1,0 +1,551 @@
+"""The ``ASY`` async-safety rules, built on the CFG + dataflow engine.
+
+The live runtime (:mod:`repro.runtime`) is a long-lived concurrent
+asyncio service; the bug class that bites such proxies in production is
+*interleaving*: state mutated across an ``await`` point, leaked
+fire-and-forget tasks, unbounded awaits on the network, and swallowed
+cancellation. These rules make that class visible to CI:
+
+- ``ASY001`` — shared state (``self.*``/``cls.*``/parameter-rooted
+  attributes) written from a value that was **read before an await**
+  with no re-read or re-validation after it: the atomicity-violation
+  shape behind the slot-vanish crash the runtime hardening fixed.
+  Flow-aware: a forward taint dataflow over the function's CFG.
+- ``ASY002`` — ``asyncio.create_task``/``ensure_future`` whose task
+  object is dropped; unreferenced tasks are garbage-collected mid-run
+  and their exceptions vanish. Route through
+  ``TaskSupervisor.spawn``/``supervise`` or retain the handle.
+- ``ASY003`` — a network/socket await (``open_connection``, ``read``,
+  ``drain``, ``wait_closed``, ...) with no enclosing
+  ``asyncio.wait_for``/``asyncio.timeout``: one unreachable peer then
+  parks the coroutine forever.
+- ``ASY004`` — blocking calls (``time.sleep``, sync socket/subprocess/
+  file I/O) inside ``async def``: they stall the whole event loop.
+- ``ASY005`` — an ``except`` that catches ``CancelledError`` without
+  re-raising: the task becomes uncancellable and teardown hangs.
+
+Suppress intentional exceptions in place with
+``# repro: noqa[ASY00x] -- reason`` (the waiver policy is documented in
+DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    CFG,
+    FunctionNode,
+    build_cfg,
+    iter_function_defs,
+)
+from repro.analysis.dataflow import ForwardAnalysis, run_forward
+from repro.analysis.registry import ModuleContext, RawFinding, rule
+from repro.analysis.rules import _dotted
+
+# ---------------------------------------------------------------------------
+# ASY001 — shared-state read-modify-write across an await
+# ---------------------------------------------------------------------------
+
+#: (attr key, stale?) — stale means "an await happened since the read".
+Taint = frozenset[tuple[str, bool]]
+#: Variable name -> taints its current value was derived from.
+TaintState = dict[str, Taint]
+
+_EMPTY: Taint = frozenset()
+
+
+def _stale(taints: Taint) -> Taint:
+    return frozenset((key, True) for key, _stale_flag in taints)
+
+
+def _shared_key(node: ast.AST, roots: frozenset[str]) -> Optional[str]:
+    """The shared-state key of an attribute/subscript chain, or None.
+
+    ``self.x.y`` -> ``"self.x.y"``; ``state.queue[k]`` ->
+    ``"state.queue[]"`` (all entries of a container collapse onto one
+    key). Only chains rooted at ``self``/``cls``/a parameter denote
+    state that another task can observe between suspensions.
+    """
+    suffix = ""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+        suffix = "[]"
+    name = _dotted(node)
+    if not name or "." not in name:
+        return None
+    if name.split(".", 1)[0] not in roots:
+        return None
+    return name + suffix
+
+
+class _TaintContext:
+    """Expression evaluation for the taint analysis.
+
+    ``eval`` returns ``(taints, suspended)`` where *suspended* records
+    whether evaluating the expression crossed an await; when it did,
+    every taint already held by a variable (and every taint accumulated
+    earlier in the same expression) is downgraded to stale.
+    """
+
+    def __init__(self, roots: frozenset[str], state: TaintState) -> None:
+        self.roots = roots
+        self.state = state
+
+    def mark_all_stale(self) -> None:
+        for name, taints in list(self.state.items()):
+            self.state[name] = _stale(taints)
+
+    def eval(self, node: Optional[ast.AST]) -> tuple[Taint, bool]:
+        if node is None:
+            return _EMPTY, False
+        if isinstance(node, ast.Name):
+            return self.state.get(node.id, _EMPTY), False
+        if isinstance(node, ast.Await):
+            _taints, _suspended = self.eval(node.value)
+            self.mark_all_stale()
+            # The awaited result is a *new* value: it carries no taint
+            # from the pre-suspension reads that built the awaitable.
+            return _EMPTY, True
+        if isinstance(node, ast.Attribute):
+            taints, suspended = self.eval(node.value)
+            key = _shared_key(node, self.roots)
+            if key is not None:
+                taints = taints | {(key, False)}
+            return taints, suspended
+        if isinstance(node, ast.Subscript):
+            taints, suspended = self._eval_seq([node.value, node.slice])
+            key = _shared_key(node, self.roots)
+            if key is not None:
+                taints = taints | {(key, False)}
+            return taints, suspended
+        if isinstance(node, ast.Call):
+            # A call result is a fresh value; its arguments are still
+            # evaluated (they may suspend via nested awaits).
+            _taints, suspended = self._eval_seq(
+                [node.func, *node.args,
+                 *(kw.value for kw in node.keywords)]
+            )
+            return _EMPTY, suspended
+        if isinstance(node, ast.NamedExpr):
+            taints, suspended = self.eval(node.value)
+            self.state[node.target.id] = taints
+            return taints, suspended
+        if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.ClassDef)):
+            return _EMPTY, False  # opaque nested scope
+        if isinstance(node, ast.Constant):
+            return _EMPTY, False
+        # Generic combiner: evaluate children left-to-right; a suspension
+        # in a later child stales everything read by earlier children.
+        return self._eval_seq(list(ast.iter_child_nodes(node)))
+
+    def _eval_seq(self, nodes: list[ast.AST]) -> tuple[Taint, bool]:
+        accumulated: Taint = _EMPTY
+        suspended = False
+        for node in nodes:
+            taints, child_suspended = self.eval(node)
+            if child_suspended:
+                accumulated = _stale(accumulated)
+                suspended = True
+            accumulated = accumulated | taints
+        return accumulated, suspended
+
+    def direct_reads(self, node: Optional[ast.AST]) -> set[str]:
+        """Shared keys read *directly* (not via locals) in ``node``."""
+        found: set[str] = set()
+        if node is None:
+            return found
+        for child in ast.walk(node):
+            key = _shared_key(child, self.roots)
+            if key is not None:
+                found.add(key)
+        return found
+
+    def revalidate(self, keys: set[str]) -> None:
+        """A guard re-read ``keys`` after the await: refresh their
+        staleness (the code demonstrably re-checked the shared state)."""
+        if not keys:
+            return
+        for name, taints in list(self.state.items()):
+            self.state[name] = frozenset(
+                (key, False if key in keys else stale)
+                for key, stale in taints
+            )
+
+
+class _Asy001Analysis(ForwardAnalysis[TaintState]):
+    """Forward may-analysis: which locals hold stale shared reads."""
+
+    def __init__(self, roots: frozenset[str]) -> None:
+        self.roots = roots
+        #: (line, col, key) of confirmed stale writes, filled on the
+        #: reporting pass after the fixpoint.
+        self.findings: set[tuple[int, int, str]] = set()
+        self._reporting = False
+
+    # -- lattice -----------------------------------------------------------
+
+    def initial(self, cfg: CFG) -> TaintState:
+        return {}
+
+    def join(self, left: TaintState, right: TaintState) -> TaintState:
+        merged = dict(left)
+        for name, taints in right.items():
+            merged[name] = merged.get(name, _EMPTY) | taints
+        return merged
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, block: BasicBlock, state: TaintState) -> TaintState:
+        ctx = _TaintContext(self.roots, dict(state))
+        for stmt in block.stmts:
+            self._exec(stmt, ctx)
+        return ctx.state
+
+    def _exec(self, stmt: ast.stmt, ctx: _TaintContext) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints, _suspended = ctx.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taints, ctx)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taints, _suspended = ctx.eval(stmt.value)
+                self._assign(stmt.target, taints, ctx)
+        elif isinstance(stmt, ast.AugAssign):
+            taints, _suspended = ctx.eval(stmt.value)
+            # ``x.a += v`` reads the target at the write point, so only
+            # the value operand can smuggle in a stale read.
+            self._write(stmt.target, taints, ctx)
+            if isinstance(stmt.target, ast.Name):
+                merged = ctx.state.get(stmt.target.id, _EMPTY) | taints
+                ctx.state[stmt.target.id] = merged
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            ctx.eval(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            ctx.eval(stmt.test)
+            ctx.revalidate(ctx.direct_reads(stmt.test))
+        elif isinstance(stmt, ast.Assert):
+            ctx.eval(stmt.test)
+            ctx.revalidate(ctx.direct_reads(stmt.test))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            ctx.eval(stmt.iter)
+            if isinstance(stmt, ast.AsyncFor):
+                ctx.mark_all_stale()  # __anext__ awaits every iteration
+            self._assign(stmt.target, _EMPTY, ctx)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                ctx.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, _EMPTY, ctx)
+            if isinstance(stmt, ast.AsyncWith):
+                ctx.mark_all_stale()  # __aenter__ awaits
+        elif isinstance(stmt, ast.Raise):
+            ctx.eval(stmt.exc)
+            ctx.eval(stmt.cause)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    ctx.state.pop(target.id, None)
+        elif isinstance(stmt, ast.Match):
+            ctx.eval(stmt.subject)
+        # Try/Pass/Break/Continue/Import/Global/Nonlocal and nested
+        # definitions have no expression step of their own.
+
+    def _assign(
+        self, target: ast.AST, taints: Taint, ctx: _TaintContext
+    ) -> None:
+        if isinstance(target, ast.Name):
+            ctx.state[target.id] = taints
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, taints, ctx)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taints, ctx)
+        else:
+            self._write(target, taints, ctx)
+
+    def _write(
+        self, target: ast.AST, taints: Taint, ctx: _TaintContext
+    ) -> None:
+        """A store into shared state: flag if the value being written
+        derives from a stale read of the *same* location."""
+        key = _shared_key(target, self.roots)
+        if key is None:
+            return
+        if self._reporting and (key, True) in taints:
+            self.findings.add(
+                (target.lineno, target.col_offset, key)
+            )
+
+
+def _function_params(func: FunctionNode) -> frozenset[str]:
+    arguments = func.args
+    names = [a.arg for a in arguments.posonlyargs + arguments.args
+             + arguments.kwonlyargs]
+    if arguments.vararg is not None:
+        names.append(arguments.vararg.arg)
+    if arguments.kwarg is not None:
+        names.append(arguments.kwarg.arg)
+    return frozenset(names) | {"self", "cls"}
+
+
+@rule(
+    "ASY001",
+    "no stale read-modify-write across await",
+    "Between a read of shared state and the await-separated write built "
+    "from it, any other task may run and change that state; the write "
+    "then resurrects the stale value (the slot-vanish bug shape). "
+    "Re-read or re-validate after the await.",
+)
+def asy001_stale_rmw(ctx: ModuleContext) -> Iterator[RawFinding]:
+    for qualname, func in iter_function_defs(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        cfg = build_cfg(func)
+        analysis = _Asy001Analysis(_function_params(func))
+        result = run_forward(analysis, cfg)
+        # Reporting pass: re-run each block's transfer from its stable
+        # input so every finding is collected exactly once.
+        analysis._reporting = True
+        for block in cfg.blocks:
+            analysis.transfer(block, result.state_in(block.id))
+        for line, col, key in sorted(analysis.findings):
+            yield (
+                line, col,
+                f"{qualname}: {key} is written from a value read before "
+                "an await; another task may have changed it — re-read or "
+                "re-validate after the await",
+            )
+
+
+# ---------------------------------------------------------------------------
+# ASY002 — fire-and-forget tasks
+# ---------------------------------------------------------------------------
+
+_TASK_SPAWNERS = {"create_task", "ensure_future"}
+
+
+def _spawner_name(call: ast.Call) -> Optional[str]:
+    name = _dotted(call.func)
+    if name.split(".")[-1] in _TASK_SPAWNERS:
+        return name
+    return None
+
+
+@rule(
+    "ASY002",
+    "no dropped task handles",
+    "A task whose handle is dropped can be garbage-collected mid-flight "
+    "and its exception is never retrieved; retain the handle (and await "
+    "or cancel it on teardown) or spawn through TaskSupervisor so "
+    "shutdown can account for it.",
+)
+def asy002_dropped_task(ctx: ModuleContext) -> Iterator[RawFinding]:
+    for node in ast.walk(ctx.tree):
+        call: Optional[ast.Call] = None
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+        elif (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and all(
+                isinstance(t, ast.Name) and t.id == "_"
+                for t in node.targets
+            )
+        ):
+            call = node.value
+        if call is None:
+            continue
+        name = _spawner_name(call)
+        if name is not None:
+            yield (
+                node.lineno, node.col_offset,
+                f"result of {name}() is dropped; keep the task handle "
+                "(await/cancel it on teardown) or route it through "
+                "TaskSupervisor.spawn so it cannot leak",
+            )
+
+
+# ---------------------------------------------------------------------------
+# ASY003 — network awaits without a timeout
+# ---------------------------------------------------------------------------
+
+#: Awaitable call tails that block on a remote peer.
+_NETWORK_AWAIT_TAILS = {
+    "open_connection", "open_unix_connection", "connect", "accept",
+    "read", "readline", "readexactly", "readuntil", "drain",
+    "wait_closed", "recv", "recvfrom", "recvmsg", "sendall",
+    "sock_recv", "sock_recv_into", "sock_sendall", "sock_connect",
+    "sock_accept", "getaddrinfo", "getnameinfo",
+}
+
+#: Context managers that bound everything awaited inside them.
+_TIMEOUT_CONTEXTS = {"timeout", "timeout_at", "move_on_after", "fail_after"}
+
+#: Call wrappers that bound the awaitable passed to them.
+_TIMEOUT_WRAPPERS = {"wait_for"}
+
+
+@rule(
+    "ASY003",
+    "network awaits need a timeout",
+    "An await on a peer (dial, read, drain, close) with no enclosing "
+    "wait_for/timeout parks the coroutine forever when the peer wedges; "
+    "on the proxy's burst path one stuck client then stalls scheduling "
+    "for every other client.",
+)
+def asy003_unbounded_network_await(
+    ctx: ModuleContext,
+) -> Iterator[RawFinding]:
+    for _qualname, func in iter_function_defs(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        yield from _scan_unbounded_awaits(func)
+
+
+def _scan_unbounded_awaits(func: FunctionNode) -> Iterator[RawFinding]:
+    def walk(node: ast.AST, bounded: bool) -> Iterator[RawFinding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)) and node is not func:
+            return  # nested scopes are scanned as their own functions
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(
+                isinstance(item.context_expr, ast.Call)
+                and _dotted(item.context_expr.func).split(".")[-1]
+                in _TIMEOUT_CONTEXTS
+                for item in node.items
+            ):
+                bounded = True
+        if isinstance(node, ast.Await):
+            value = node.value
+            if isinstance(value, ast.Call):
+                name = _dotted(value.func)
+                tail = name.split(".")[-1]
+                if tail in _TIMEOUT_WRAPPERS:
+                    return  # the wrapped awaitable is bounded
+                if tail in _NETWORK_AWAIT_TAILS and not bounded:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"await {name or tail}() has no enclosing "
+                        "asyncio.wait_for/timeout; a wedged peer parks "
+                        "this coroutine forever",
+                    )
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child, bounded)
+
+    yield from walk(func, False)
+
+
+# ---------------------------------------------------------------------------
+# ASY004 — blocking calls inside async def
+# ---------------------------------------------------------------------------
+
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "socket.socket", "socket.create_connection", "socket.getaddrinfo",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.waitpid",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.request", "urllib.request.urlopen",
+}
+_BLOCKING_BARE = {"open", "input"}
+
+
+@rule(
+    "ASY004",
+    "no blocking calls in async code",
+    "A synchronous sleep/socket/subprocess/file call inside async def "
+    "blocks the entire event loop: every client served by the loop "
+    "stalls, not just the offender. Use the asyncio equivalent or "
+    "run_in_executor.",
+)
+def asy004_blocking_in_async(ctx: ModuleContext) -> Iterator[RawFinding]:
+    for _qualname, func in iter_function_defs(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        yield from _scan_blocking_calls(func)
+
+
+def _scan_blocking_calls(func: FunctionNode) -> Iterator[RawFinding]:
+    def walk(node: ast.AST) -> Iterator[RawFinding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)) and node is not func:
+            return
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name in _BLOCKING_DOTTED:
+                yield (
+                    node.lineno, node.col_offset,
+                    f"blocking call {name}() inside async def "
+                    f"{func.name!r} stalls the whole event loop; use the "
+                    "asyncio equivalent (e.g. asyncio.sleep, "
+                    "open_connection) or run_in_executor",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _BLOCKING_BARE
+            ):
+                yield (
+                    node.lineno, node.col_offset,
+                    f"blocking builtin {node.func.id}() inside async def "
+                    f"{func.name!r}; do file/console I/O off the event "
+                    "loop (run_in_executor) or before entering it",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child)
+
+    yield from walk(func)
+
+
+# ---------------------------------------------------------------------------
+# ASY005 — swallowed cancellation
+# ---------------------------------------------------------------------------
+
+
+def _catches_cancelled(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return False  # bare except is ERR002's beat
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        _dotted(t).split(".")[-1] == "CancelledError" for t in types
+    )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@rule(
+    "ASY005",
+    "never swallow CancelledError",
+    "Catching CancelledError without re-raising makes the task "
+    "uncancellable: supervisor stop() then hangs awaiting it, and "
+    "teardown leaks the task. Clean up and re-raise; only a reaper "
+    "that just cancelled the task itself may absorb it (waiver).",
+)
+def asy005_swallowed_cancellation(
+    ctx: ModuleContext,
+) -> Iterator[RawFinding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            if _catches_cancelled(handler) and not _reraises(handler):
+                yield (
+                    handler.lineno, handler.col_offset,
+                    "except catches CancelledError without re-raising; "
+                    "the task becomes uncancellable — clean up and "
+                    "re-raise (waive only at await-after-cancel "
+                    "teardown sites)",
+                )

@@ -19,8 +19,15 @@ from repro.errors import ConfigurationError
 
 BASELINE_VERSION = 1
 
+#: Rules a baseline can never grandfather: a file that does not parse
+#: and a stale waiver are hygiene failures, not debt — letting them into
+#: the baseline would silently disable the gates that keep the waiver
+#: inventory honest.
+NEVER_BASELINED = frozenset({"E000", "SUP001"})
+
 
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    findings = [f for f in findings if f.rule not in NEVER_BASELINED]
     counts = Counter(f.fingerprint() for f in findings)
     descriptions = {}
     for finding in findings:
@@ -61,10 +68,17 @@ def load_baseline(path: Path) -> dict[str, int]:
 def filter_baselined(
     findings: Sequence[Finding], allowed: dict[str, int]
 ) -> list[Finding]:
-    """Drop up to ``allowed[fp]`` findings per fingerprint; keep the rest."""
+    """Drop up to ``allowed[fp]`` findings per fingerprint; keep the rest.
+
+    :data:`NEVER_BASELINED` rules always pass through, even when a
+    hand-edited baseline lists their fingerprints.
+    """
     budget = dict(allowed)
     fresh: list[Finding] = []
     for finding in findings:
+        if finding.rule in NEVER_BASELINED:
+            fresh.append(finding)
+            continue
         fingerprint = finding.fingerprint()
         if budget.get(fingerprint, 0) > 0:
             budget[fingerprint] -= 1

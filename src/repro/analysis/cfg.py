@@ -1,0 +1,475 @@
+"""Per-function control-flow graphs for the flow-aware rules.
+
+The AST rules of :mod:`repro.analysis.rules` are per-node pattern
+matches; the ``ASY`` async-safety family needs to reason about *order*
+— "a read happened, then the coroutine suspended, then a write landed".
+:func:`build_cfg` lowers one function body into basic blocks:
+
+* every statement of the function body lands in **exactly one** block
+  (compound statements land where their header is evaluated; their
+  nested bodies land in inner blocks) — a property the hypothesis suite
+  in ``tests/analysis/test_cfg.py`` checks by construction;
+* branches (``if``/``match``), loops (``for``/``while`` with their
+  ``orelse``, ``break``/``continue``), and ``try``/``except``/
+  ``finally`` produce the usual edges, with conservative exception
+  edges from every block of a ``try`` region to its handlers and
+  ``finally``;
+* a statement that contains an ``await`` (or an implicitly awaiting
+  header: ``async for``, ``async with``) **terminates its block** and
+  marks it :attr:`BasicBlock.suspends` — await points are basic-block
+  boundaries, which is what lets a dataflow client say "state read
+  before this block's end may be stale afterwards".
+
+Nested ``def``/``async def``/``class``/``lambda`` bodies are *not*
+inlined: the definition statement itself is placed like any other
+statement and the nested body belongs to the nested function's own CFG
+(see :func:`iter_function_defs`).
+
+The graph is an over-approximation of real control flow (e.g. a
+``return`` inside ``try``/``finally`` is modelled by the region's
+conservative edge into ``finally`` plus a direct edge to the exit
+block). That is the right trade-off for the may-analyses built on top:
+extra edges can only make them warn more, never miss an interleaving.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: AST node types whose bodies belong to a *different* scope and are
+#: therefore never descended into while building a CFG.
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with one entry point."""
+
+    id: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    #: True when the block ends at an await boundary: its last statement
+    #: contains an ``await`` (or is an implicitly awaiting header).
+    suspends: bool = False
+
+    def add_succ(self, other: int) -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function body."""
+
+    func: FunctionNode
+    blocks: list[BasicBlock]
+    entry: int
+    exit: int
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def successors(self, block_id: int) -> list[BasicBlock]:
+        return [self.blocks[s] for s in self.blocks[block_id].succs]
+
+    def reverse_postorder(self) -> list[int]:
+        """Block ids in reverse postorder from the entry (unreachable
+        blocks appended afterwards in id order, so every block — even a
+        dead one after ``return`` — is visited by dataflow clients)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        stack: list[tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            node, index = stack[-1]
+            succs = self.blocks[node].succs
+            if index < len(succs):
+                stack[-1] = (node, index + 1)
+                child = succs[index]
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        for block in self.blocks:
+            if block.id not in seen:
+                order.append(block.id)
+        return order
+
+    def statement_blocks(self) -> dict[int, int]:
+        """Map ``id(stmt) -> block id`` for every placed statement."""
+        placed: dict[int, int] = {}
+        for block in self.blocks:
+            for stmt in block.stmts:
+                placed[id(stmt)] = block.id
+        return placed
+
+
+def expr_contains_await(node: ast.AST) -> bool:
+    """True if ``node`` contains an ``await`` in *this* scope (nested
+    function/lambda/class bodies are opaque)."""
+    if isinstance(node, ast.Await):
+        return True
+    if isinstance(node, _SCOPE_BARRIERS):
+        return False
+    return any(
+        expr_contains_await(child) for child in ast.iter_child_nodes(node)
+    )
+
+
+def _header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions a compound statement evaluates *at its header*
+    (nested statement bodies excluded)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+        return []
+    # Simple statements: the whole node is expression-bearing.
+    return [stmt]
+
+
+def stmt_suspends(stmt: ast.stmt) -> bool:
+    """True when executing ``stmt``'s own step can suspend the coroutine
+    (contains an await, or is an ``async for``/``async with`` header)."""
+    if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+        return True
+    return any(expr_contains_await(expr) for expr in _header_exprs(stmt))
+
+
+def iter_function_defs(
+    tree: ast.AST,
+) -> Iterator[tuple[str, FunctionNode]]:
+    """Yield ``(qualname, node)`` for every function defined in ``tree``,
+    including functions nested inside functions and classes."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[tuple[str, FunctionNode]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                yield name, child
+                yield from walk(child, f"{name}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")
+
+
+class _Builder:
+    """One-shot CFG construction for a single function body."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        #: (continue target, break target) per enclosing loop.
+        self._loops: list[tuple[int, int]] = []
+        #: Exception targets (handler/finally entry ids) of enclosing
+        #: ``try`` regions, outermost first.
+        self._except_targets: list[list[int]] = []
+
+    # -- low-level graph ops ----------------------------------------------
+
+    def _new_block(self) -> int:
+        block = BasicBlock(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].add_succ(dst)
+
+    def _place(self, block_id: int, stmt: ast.stmt) -> None:
+        self.blocks[block_id].stmts.append(stmt)
+        # Every block holding a statement inside a try region may raise
+        # into the region's handlers: add the conservative edges at
+        # placement time so nested regions compose automatically.
+        for targets in self._except_targets:
+            for target in targets:
+                self._edge(block_id, target)
+
+    def _seal_suspension(self, block_id: int) -> int:
+        """End ``block_id`` at an await boundary; return the successor."""
+        self.blocks[block_id].suspends = True
+        after = self._new_block()
+        self._edge(block_id, after)
+        return after
+
+    # -- statement dispatch -------------------------------------------------
+
+    def build(self) -> CFG:
+        end = self._visit_body(self.func.body, self.entry)
+        self._edge(end, self.exit)
+        for block in self.blocks:
+            for succ in block.succs:
+                if block.id not in self.blocks[succ].preds:
+                    self.blocks[succ].preds.append(block.id)
+        return CFG(
+            func=self.func, blocks=self.blocks,
+            entry=self.entry, exit=self.exit,
+        )
+
+    def _visit_body(self, body: list[ast.stmt], current: int) -> int:
+        for stmt in body:
+            current = self._visit(stmt, current)
+        return current
+
+    def _visit(self, stmt: ast.stmt, current: int) -> int:
+        handler = getattr(self, f"_visit_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, current)
+        # Simple statement: place it; split the block if it awaits.
+        self._place(current, stmt)
+        if stmt_suspends(stmt):
+            return self._seal_suspension(current)
+        return current
+
+    # -- terminators --------------------------------------------------------
+
+    def _visit_Return(self, stmt: ast.Return, current: int) -> int:
+        self._place(current, stmt)
+        if stmt_suspends(stmt):
+            self.blocks[current].suspends = True
+        self._edge(current, self.exit)
+        return self._new_block()  # unreachable continuation
+
+    def _visit_Raise(self, stmt: ast.Raise, current: int) -> int:
+        self._place(current, stmt)
+        # Region edges to handlers were added at placement; an uncaught
+        # raise leaves the function.
+        self._edge(current, self.exit)
+        return self._new_block()
+
+    def _visit_Break(self, stmt: ast.Break, current: int) -> int:
+        self._place(current, stmt)
+        if self._loops:
+            self._edge(current, self._loops[-1][1])
+        return self._new_block()
+
+    def _visit_Continue(self, stmt: ast.Continue, current: int) -> int:
+        self._place(current, stmt)
+        if self._loops:
+            self._edge(current, self._loops[-1][0])
+        return self._new_block()
+
+    # -- branches -----------------------------------------------------------
+
+    def _visit_If(self, stmt: ast.If, current: int) -> int:
+        self._place(current, stmt)
+        if stmt_suspends(stmt):
+            current = self._seal_suspension(current)
+        join = self._new_block()
+        then_entry = self._new_block()
+        self._edge(current, then_entry)
+        then_end = self._visit_body(stmt.body, then_entry)
+        self._edge(then_end, join)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(current, else_entry)
+            else_end = self._visit_body(stmt.orelse, else_entry)
+            self._edge(else_end, join)
+        else:
+            self._edge(current, join)
+        return join
+
+    def _visit_Match(self, stmt: ast.Match, current: int) -> int:
+        self._place(current, stmt)
+        if stmt_suspends(stmt):
+            current = self._seal_suspension(current)
+        join = self._new_block()
+        has_wildcard = False
+        for case in stmt.cases:
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                has_wildcard = True
+            case_entry = self._new_block()
+            self._edge(current, case_entry)
+            case_end = self._visit_body(case.body, case_entry)
+            self._edge(case_end, join)
+        if not has_wildcard or not stmt.cases:
+            self._edge(current, join)
+        return join
+
+    # -- loops --------------------------------------------------------------
+
+    def _loop(
+        self,
+        stmt: ast.stmt,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+        current: int,
+        *,
+        exits_normally: bool,
+        suspends_each_iteration: bool,
+    ) -> int:
+        header = self._new_block()
+        self._edge(current, header)
+        self._place(header, stmt)
+        if suspends_each_iteration:
+            self.blocks[header].suspends = True
+        after = self._new_block()
+        body_entry = self._new_block()
+        self._edge(header, body_entry)
+        if exits_normally:
+            if orelse:
+                orelse_entry = self._new_block()
+                self._edge(header, orelse_entry)
+                orelse_end = self._visit_body(orelse, orelse_entry)
+                self._edge(orelse_end, after)
+            else:
+                self._edge(header, after)
+        elif orelse:
+            # ``while True: ... else:`` — the else is unreachable but its
+            # statements still need a home.
+            orelse_entry = self._new_block()
+            orelse_end = self._visit_body(orelse, orelse_entry)
+            self._edge(orelse_end, after)
+        self._loops.append((header, after))
+        body_end = self._visit_body(body, body_entry)
+        self._loops.pop()
+        self._edge(body_end, header)
+        return after
+
+    def _visit_While(self, stmt: ast.While, current: int) -> int:
+        test_const_true = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        return self._loop(
+            stmt, stmt.body, stmt.orelse, current,
+            exits_normally=not test_const_true,
+            suspends_each_iteration=stmt_suspends(stmt),
+        )
+
+    def _visit_For(self, stmt: ast.For, current: int) -> int:
+        return self._loop(
+            stmt, stmt.body, stmt.orelse, current,
+            exits_normally=True,
+            suspends_each_iteration=stmt_suspends(stmt),
+        )
+
+    def _visit_AsyncFor(self, stmt: ast.AsyncFor, current: int) -> int:
+        return self._loop(
+            stmt, stmt.body, stmt.orelse, current,
+            exits_normally=True,
+            suspends_each_iteration=True,  # __anext__ awaits
+        )
+
+    # -- context managers ----------------------------------------------------
+
+    def _with(self, stmt: ast.stmt, body: list[ast.stmt],
+              current: int, *, is_async: bool) -> int:
+        self._place(current, stmt)
+        if is_async or stmt_suspends(stmt):
+            # ``__aenter__`` awaits: entry is a suspension boundary.
+            current = self._seal_suspension(current)
+        body_entry = self._new_block()
+        self._edge(current, body_entry)
+        body_end = self._visit_body(body, body_entry)
+        if is_async:
+            # ``__aexit__`` awaits: exit is a suspension boundary too.
+            self.blocks[body_end].suspends = True
+        after = self._new_block()
+        self._edge(body_end, after)
+        return after
+
+    def _visit_With(self, stmt: ast.With, current: int) -> int:
+        return self._with(stmt, stmt.body, current, is_async=False)
+
+    def _visit_AsyncWith(self, stmt: ast.AsyncWith, current: int) -> int:
+        return self._with(stmt, stmt.body, current, is_async=True)
+
+    # -- try/except/finally ---------------------------------------------------
+
+    def _visit_Try(self, stmt: ast.Try, current: int) -> int:
+        return self._try(stmt, current)
+
+    def _visit_TryStar(self, stmt: ast.stmt, current: int) -> int:
+        return self._try(stmt, current)
+
+    def _try(self, stmt: ast.stmt, current: int) -> int:
+        handlers = getattr(stmt, "handlers", [])
+        body = stmt.body
+        orelse = getattr(stmt, "orelse", [])
+        finalbody = getattr(stmt, "finalbody", [])
+
+        self._place(current, stmt)
+        after = self._new_block()
+
+        finally_entry: int | None = None
+        if finalbody:
+            finally_entry = self._new_block()
+
+        handler_entries = [self._new_block() for _ in handlers]
+
+        # Every block placed while the region is active raises into the
+        # handlers (and, failing those, the finally).
+        targets = list(handler_entries)
+        if finally_entry is not None:
+            targets.append(finally_entry)
+
+        body_entry = self._new_block()
+        self._edge(current, body_entry)
+        self._except_targets.append(targets)
+        body_end = self._visit_body(body, body_entry)
+        self._except_targets.pop()
+
+        # Handlers themselves may raise into the finally.
+        handler_targets = [finally_entry] if finally_entry is not None else []
+        handler_ends = []
+        for handler, entry in zip(handlers, handler_entries):
+            if handler_targets:
+                self._except_targets.append(handler_targets)
+            end = self._visit_body(handler.body, entry)
+            if handler_targets:
+                self._except_targets.pop()
+            handler_ends.append(end)
+
+        if orelse:
+            orelse_entry = self._new_block()
+            self._edge(body_end, orelse_entry)
+            if handler_targets:
+                self._except_targets.append(handler_targets)
+            normal_end = self._visit_body(orelse, orelse_entry)
+            if handler_targets:
+                self._except_targets.pop()
+        else:
+            normal_end = body_end
+
+        if finally_entry is not None:
+            finally_end = self._visit_body(finalbody, finally_entry)
+            self._edge(normal_end, finally_entry)
+            for end in handler_ends:
+                self._edge(end, finally_entry)
+            self._edge(finally_end, after)
+            # The re-raise path: an exception that traversed finally
+            # leaves the function.
+            self._edge(finally_end, self.exit)
+        else:
+            self._edge(normal_end, after)
+            for end in handler_ends:
+                self._edge(end, after)
+        return after
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Lower one function body into a :class:`CFG`."""
+    return _Builder(func).build()

@@ -1,0 +1,127 @@
+"""A small forward-dataflow framework over :mod:`repro.analysis.cfg`.
+
+Clients subclass :class:`ForwardAnalysis`, provide the lattice
+operations (:meth:`~ForwardAnalysis.initial` entry state,
+:meth:`~ForwardAnalysis.join`, and a per-block
+:meth:`~ForwardAnalysis.transfer` function), and :func:`run_forward`
+iterates a worklist to the fixpoint. States are compared with ``==``
+and must never be mutated in place by ``transfer`` — return a new
+state instead, or the convergence check breaks silently.
+
+The framework is deliberately tiny: it exists so flow-aware rules
+(the ``ASY`` family) can phrase "what may have happened before this
+statement" questions without each rule reinventing a traversal. The
+iteration count is bounded; a non-converging (non-monotone) client is
+a bug in the client, reported as :class:`~repro.errors.AnalysisError`
+rather than a hang.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.errors import AnalysisError
+
+S = TypeVar("S")
+
+#: Worklist re-visits per block before the framework declares the
+#: client non-monotone. Real lattices here are tiny maps; honest
+#: clients converge in a handful of passes.
+MAX_VISITS_PER_BLOCK = 64
+
+
+class ForwardAnalysis(Generic[S]):
+    """The operations a forward dataflow client must provide."""
+
+    def initial(self, cfg: CFG) -> S:
+        """The state on entry to the function."""
+        raise NotImplementedError
+
+    def join(self, left: S, right: S) -> S:
+        """Merge states where control-flow paths meet."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, state: S) -> S:
+        """The state after executing ``block`` from ``state``."""
+        raise NotImplementedError
+
+
+class DataflowResult(Generic[S]):
+    """Per-block input/output states at the fixpoint."""
+
+    def __init__(
+        self, cfg: CFG, in_states: dict[int, S], out_states: dict[int, S]
+    ) -> None:
+        self.cfg = cfg
+        self._in = in_states
+        self._out = out_states
+
+    def state_in(self, block_id: int) -> S:
+        return self._in[block_id]
+
+    def state_out(self, block_id: int) -> S:
+        return self._out[block_id]
+
+
+def run_forward(analysis: ForwardAnalysis[S], cfg: CFG) -> DataflowResult[S]:
+    """Iterate ``analysis`` over ``cfg`` to a fixpoint.
+
+    Blocks unreachable from the entry still get states (seeded from the
+    entry state), so rules report on dead code the same way they report
+    on live code — dead code gets deleted, not special-cased.
+    """
+    order = cfg.reverse_postorder()
+    in_states: dict[int, S] = {}
+    out_states: dict[int, S] = {}
+    visits: dict[int, int] = {}
+
+    worklist: deque[int] = deque(order)
+    queued = set(order)
+
+    while worklist:
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.block(block_id)
+
+        visits[block_id] = visits.get(block_id, 0) + 1
+        if visits[block_id] > MAX_VISITS_PER_BLOCK:
+            raise AnalysisError(
+                f"dataflow did not converge at block {block_id} of "
+                f"{cfg.func.name!r}; non-monotone transfer/join?"
+            )
+
+        state: S | None = None
+        for pred in block.preds:
+            pred_out = out_states.get(pred)
+            if pred_out is None:
+                continue
+            state = (
+                pred_out if state is None else analysis.join(state, pred_out)
+            )
+        if block_id == cfg.entry or state is None:
+            entry_state = analysis.initial(cfg)
+            state = (
+                entry_state if state is None
+                else analysis.join(state, entry_state)
+            )
+
+        new_out = analysis.transfer(block, state)
+        in_states[block_id] = state
+        if out_states.get(block_id) == new_out and block_id in out_states:
+            continue
+        out_states[block_id] = new_out
+        for succ in block.succs:
+            if succ not in queued:
+                queued.add(succ)
+                worklist.append(succ)
+
+    # Deterministic ordering of any remaining gaps (empty CFGs).
+    for block_id in order:
+        if block_id not in in_states:
+            in_states[block_id] = analysis.initial(cfg)
+            out_states[block_id] = analysis.transfer(
+                cfg.block(block_id), in_states[block_id]
+            )
+    return DataflowResult(cfg, in_states, out_states)

@@ -7,6 +7,7 @@ import re
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis import async_rules as _async_rules  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding, Severity

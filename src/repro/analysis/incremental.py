@@ -1,0 +1,75 @@
+"""Incremental analysis: lint only files changed since a merge-base.
+
+``repro analyze --changed [BASE]`` computes ``git merge-base HEAD
+BASE`` and restricts the run to python files that differ from it (plus
+untracked files), which turns the full-tree gate into a sub-second
+pre-commit check. The *rules* are unchanged — a changed file is always
+analyzed whole, so flow-aware rules see complete functions.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default comparison ref when ``--changed`` is given without a base.
+DEFAULT_BASE = "main"
+
+
+def _git(args: Sequence[str], cwd: Path) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except FileNotFoundError as exc:
+        raise ConfigurationError("--changed requires git on PATH") from exc
+    except subprocess.CalledProcessError as exc:
+        raise ConfigurationError(
+            f"git {' '.join(args)} failed: {exc.stderr.strip()}"
+        ) from exc
+    return proc.stdout
+
+
+def changed_python_files(
+    base: str = DEFAULT_BASE, cwd: Path | None = None
+) -> list[Path]:
+    """Python files differing from ``merge-base(HEAD, base)``, plus
+    untracked ones. Paths are repo-root-relative, deduplicated, sorted,
+    and limited to files that still exist (deletions are skipped)."""
+    cwd = cwd or Path.cwd()
+    root = Path(_git(["rev-parse", "--show-toplevel"], cwd).strip())
+    merge_base = _git(["merge-base", "HEAD", base], cwd).strip()
+    listed = _git(
+        ["diff", "--name-only", "-z", merge_base, "--"], cwd
+    ).split("\0")
+    listed += _git(
+        ["ls-files", "--others", "--exclude-standard", "-z"], cwd
+    ).split("\0")
+    files = {
+        root / name
+        for name in listed
+        if name.endswith(".py")
+    }
+    return sorted(p for p in files if p.is_file())
+
+
+def restrict_to(
+    files: Sequence[Path], scopes: Sequence[str | Path]
+) -> list[Path]:
+    """The subset of ``files`` living under any of the ``scopes``."""
+    resolved = [Path(s).resolve() for s in scopes]
+    kept: list[Path] = []
+    for file in files:
+        target = file.resolve()
+        for scope in resolved:
+            if target == scope or scope in target.parents:
+                kept.append(file)
+                break
+    return kept

@@ -1,4 +1,4 @@
-"""Rendering findings as text, JSON, or GitHub workflow annotations."""
+"""Rendering findings as text, JSON, GitHub annotations, or SARIF."""
 
 from __future__ import annotations
 
@@ -7,6 +7,15 @@ from collections import Counter
 from typing import Sequence
 
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import RULES
+
+#: SARIF version emitted by :func:`render_sarif` (what GitHub code
+#: scanning ingests).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -56,8 +65,92 @@ def render_github(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 log for GitHub code scanning.
+
+    Every registered rule is described in ``tool.driver.rules`` (so the
+    code-scanning UI shows titles and rationales even for rules with no
+    current findings); results reference rules by id and carry the
+    engine's line-independent fingerprint so alerts track across edits.
+    """
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.id,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {
+                "level": (
+                    "error"
+                    if rule.default_severity is Severity.ERROR
+                    else "warning"
+                ),
+            },
+        }
+        for _rule_id, rule in sorted(RULES.items())
+    ]
+    # Engine pseudo-rules can appear in results; describe them too.
+    rules += [
+        {
+            "id": "E000",
+            "name": "E000",
+            "shortDescription": {"text": "file does not parse"},
+            "defaultConfiguration": {"level": "error"},
+        },
+        {
+            "id": "SUP001",
+            "name": "SUP001",
+            "shortDescription": {"text": "unused suppression"},
+            "defaultConfiguration": {"level": "warning"},
+        },
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error" if f.severity is Severity.ERROR else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; Finding.col is 0-based.
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproAnalyze/v1": f.fingerprint()},
+        }
+        for f in findings
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": (
+                            "https://example.invalid/repro/DESIGN.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
 RENDERERS = {
     "text": render_text,
     "json": render_json,
     "github": render_github,
+    "sarif": render_sarif,
 }

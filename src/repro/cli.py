@@ -446,7 +446,19 @@ def cmd_analyze(args) -> int:
             frozenset(args.ignore.split(",")) if args.ignore else frozenset()
         ),
     )
-    findings = analyze_paths(args.paths, config)
+    paths = list(args.paths)
+    if args.changed is not None:
+        from repro.analysis.incremental import (
+            changed_python_files,
+            restrict_to,
+        )
+
+        paths = restrict_to(changed_python_files(args.changed), paths)
+        if not paths:
+            if args.format == "text":
+                print("no changed python files")
+            return 0
+    findings = analyze_paths(paths, config)
 
     baseline_path = Path(args.baseline) if args.baseline else None
     if args.write_baseline:
@@ -730,8 +742,14 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src"],
         help="files or directories to analyze (default: src)",
     )
-    analyze.add_argument("--format", choices=("text", "json", "github"),
+    analyze.add_argument("--format",
+                         choices=("text", "json", "github", "sarif"),
                          default="text")
+    analyze.add_argument(
+        "--changed", nargs="?", const="main", default=None, metavar="BASE",
+        help="only analyze files changed since merge-base(HEAD, BASE) "
+             "plus untracked files (default BASE: main)",
+    )
     analyze.add_argument("--select", default="",
                          help="comma list of rule ids to run exclusively")
     analyze.add_argument("--ignore", default="",

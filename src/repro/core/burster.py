@@ -40,10 +40,18 @@ class MarkingController:
         self.sent_offset = connection.app_limit
         #: last stream offset carried by an emitted segment (paper: fwd).
         self.fwd_offset = connection.snd_nxt
-        #: stream offset whose segment gets the TOS mark (paper: mark).
-        self.mark_offset: Optional[int] = None
+        #: stream offsets whose segments get the TOS mark (paper: mark).
+        #: Ascending; a scalar would lose a pending mark whenever the
+        #: send window stalls a marked hand-off and the next burst's
+        #: mark arrives before the stalled bytes ever hit the wire.
+        self.mark_offsets: list[int] = []
         self.segments_marked = 0
         connection.on_segment_tx = self._on_segment_tx
+
+    @property
+    def mark_offset(self) -> Optional[int]:
+        """Most recent pending mark byte (paper's ``mark`` variable)."""
+        return self.mark_offsets[-1] if self.mark_offsets else None
 
     def hand_bytes(self, nbytes: int, mark_last: bool) -> None:
         """Bursting-thread side: write ``nbytes`` into the socket."""
@@ -53,19 +61,30 @@ class MarkingController:
             # Mark the final byte of this hand-off. Set *before* send():
             # the socket may emit segments synchronously and the IPQ
             # hook must already know the mark byte when they pass.
-            self.mark_offset = self.connection.app_limit + nbytes - 1
+            self.mark_offsets.append(self.connection.app_limit + nbytes - 1)
         self.connection.send(nbytes)
         self.sent_offset = self.connection.app_limit
 
     def _on_segment_tx(self, packet: Packet) -> None:
         """IPQ-thread side: observe (and possibly mark) each segment."""
         self.fwd_offset = max(self.fwd_offset, packet.end_seq)
-        if (
-            self.mark_offset is not None
-            and packet.seq <= self.mark_offset < packet.end_seq
-        ):
-            packet.tos_marked = True
-            self.segments_marked += 1
+        offsets = self.mark_offsets
+        # Acked mark bytes can never ride another segment, not even a
+        # retransmission; unacked ones must stay pending so retransmits
+        # of the marked segment are marked again.
+        una = self.connection.snd_una
+        drop = 0
+        while drop < len(offsets) and offsets[drop] < una:
+            drop += 1
+        if drop:
+            del offsets[:drop]
+        for offset in offsets:
+            if offset >= packet.end_seq:
+                break
+            if packet.seq <= offset:
+                packet.tos_marked = True
+                self.segments_marked += 1
+                break
 
 
 class Burster:

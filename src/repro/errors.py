@@ -55,6 +55,11 @@ class TraceError(ReproError):
     """Errors raised while capturing or analyzing packet traces."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis engine hit an internal inconsistency
+    (e.g. a non-converging dataflow client)."""
+
+
 class SweepError(ReproError):
     """Errors raised by the sweep orchestration subsystem."""
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import OverloadError, ProxyProtocolError, SchedulingError
 from repro.obs import NULL_RECORDER, Recorder
@@ -35,7 +35,9 @@ from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
 class VirtualWnic:
     """A wall-clock sleep/awake transition log."""
 
-    def __init__(self, clock=time.monotonic) -> None:
+    def __init__(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         self._clock = clock
         self.epoch = clock()
         self.transitions: list[tuple[float, str]] = [(0.0, "idle")]
@@ -233,14 +235,17 @@ class AsyncPowerClient:
         connection at admission, and :class:`ProxyProtocolError` for
         any other refusal (bad handshake, unreachable origin).
         """
-        reader, writer = await asyncio.open_connection(proxy_host, proxy_port)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(proxy_host, proxy_port),
+            timeout=timeout_s,
+        )
         try:
             header = (
                 f"CONNECT {origin[0]} {origin[1]} {self.client_id} "
                 f"{self.control_port}\n"
             ).encode()
             writer.write(header + request)
-            await writer.drain()
+            await asyncio.wait_for(writer.drain(), timeout=timeout_s)
             status = await asyncio.wait_for(
                 reader.readline(), timeout=timeout_s
             )
@@ -260,8 +265,8 @@ class AsyncPowerClient:
         finally:
             writer.close()
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
+                await asyncio.wait_for(writer.wait_closed(), timeout=timeout_s)
+            except (asyncio.TimeoutError, ConnectionError, OSError):
                 pass  # peer reset first; the socket is closed regardless
         return bytes(received)
 
@@ -270,5 +275,5 @@ class _ControlProtocol(asyncio.DatagramProtocol):
     def __init__(self, client: AsyncPowerClient) -> None:
         self.client = client
 
-    def datagram_received(self, data: bytes, addr) -> None:
+    def datagram_received(self, data: bytes, addr: Any) -> None:
         self.client._on_datagram(data, addr)

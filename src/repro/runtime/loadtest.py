@@ -213,7 +213,7 @@ async def run_loadtest(
             chaos_task.cancel()
             try:
                 await chaos_task
-            except asyncio.CancelledError:
+            except asyncio.CancelledError:  # repro: noqa[ASY005] -- we cancelled chaos_task one line up; absorbing the echo is the reap
                 pass  # remaining chaos actions are moot after the run
         if shim is not None:
             shim.uninstall()

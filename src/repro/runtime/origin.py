@@ -23,6 +23,11 @@ from repro.errors import ConfigurationError
 
 log = logging.getLogger("repro.runtime")
 
+#: A request header must arrive within this window, and a closing
+#: socket must finish its handshake within it.
+IDLE_TIMEOUT_S = 30.0
+CLOSE_TIMEOUT_S = 1.0
+
 
 class SpeedTestOrigin:
     """The killable origin byte server."""
@@ -70,7 +75,9 @@ class SpeedTestOrigin:
             self._tasks.add(task)
         self._writers.add(writer)
         try:
-            header = await reader.readline()
+            header = await asyncio.wait_for(
+                reader.readline(), timeout=IDLE_TIMEOUT_S
+            )
             parts = header.decode(errors="replace").split()
             if len(parts) != 2 or parts[0] != "GET":
                 return
@@ -79,21 +86,30 @@ class SpeedTestOrigin:
             while remaining > 0:
                 n = min(self.chunk_bytes, remaining)
                 writer.write(b"\0" * n)
-                await writer.drain()
+                # Unbounded on purpose: the proxy's watermark pause must
+                # propagate here as TCP backpressure — parking this
+                # coroutine until the proxy resumes reading IS the
+                # flow-control design, and kill() aborts the transport,
+                # which wakes the drain with ConnectionResetError.
+                await writer.drain()  # repro: noqa[ASY003] -- backpressure parking is the design; kill() unwedges it via transport.abort()
                 remaining -= n
                 self.bytes_served += n
                 if self.pace_s > 0:
                     await asyncio.sleep(self.pace_s)
-        except (ConnectionError, ValueError, asyncio.CancelledError):
-            pass  # client went away or sent garbage: nothing to serve
+        except (ConnectionError, ValueError, asyncio.TimeoutError):
+            pass  # client went away, sent garbage, or never spoke
+        except asyncio.CancelledError:  # repro: noqa[ASY005] -- kill() cancels handlers then stop() awaits them; asyncio's streams done-callback calls .exception() on the task, so ending cancelled would spray the loop handler
+            pass
         finally:
             if task is not None:
                 self._tasks.discard(task)
             self._writers.discard(writer)
             writer.close()
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
+                await asyncio.wait_for(
+                    writer.wait_closed(), timeout=CLOSE_TIMEOUT_S
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
                 pass  # peer already reset the connection
 
     def kill(self) -> None:
@@ -130,10 +146,12 @@ class SpeedTestOrigin:
         for task in tasks:
             try:
                 await task
-            except asyncio.CancelledError:
+            except asyncio.CancelledError:  # repro: noqa[ASY005] -- kill() cancelled these tasks one line up; absorbing the echo is the reap
                 pass  # cancellation is the expected teardown outcome
         if server is not None:
-            await server.wait_closed()
+            # Local bookkeeping: kill() already closed the listener and
+            # every handler task was awaited above.
+            await server.wait_closed()  # repro: noqa[ASY003] -- resolves locally after close(); no peer can wedge it
 
     # -- asyncio.AbstractServer-style compat shims ------------------------
 

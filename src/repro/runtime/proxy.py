@@ -44,7 +44,7 @@ import asyncio
 import logging
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import ConfigurationError, SchedulingError, SocketError
 from repro.obs import BYTES_BUCKETS, NULL_RECORDER, Recorder, SECONDS_BUCKETS
@@ -140,7 +140,12 @@ class _Connection:
         "queued_chunks", "downstream_done", "upstream_done", "closed",
     )
 
-    def __init__(self, state: "_ClientState", client_writer, origin_writer):
+    def __init__(
+        self,
+        state: "_ClientState",
+        client_writer: asyncio.StreamWriter,
+        origin_writer: asyncio.StreamWriter,
+    ) -> None:
         self.state = state
         self.client_writer = client_writer
         self.origin_writer = origin_writer
@@ -287,7 +292,7 @@ class AsyncProxy:
         for task in handlers:
             try:
                 await task
-            except asyncio.CancelledError:
+            except asyncio.CancelledError:  # repro: noqa[ASY005] -- stop() cancelled this handler itself one line up; absorbing the echo is the reap
                 pass  # expected teardown outcome
             except Exception as exc:
                 log.debug("handler raised during teardown: %r", exc)
@@ -301,7 +306,10 @@ class AsyncProxy:
         self._buffered_bytes = 0
         self._global_writable.set()
         if self._server is not None:
-            await self._server.wait_closed()
+            # Not a peer await: close() already ran and every handler
+            # task was cancelled and awaited above, so this resolves
+            # locally without waiting on any remote socket.
+            await self._server.wait_closed()  # repro: noqa[ASY003] -- local bookkeeping after close(); no peer can wedge it
             self._server = None
         if self._control is not None:
             self._control.close()
@@ -344,7 +352,7 @@ class AsyncProxy:
             self._handler_tasks.add(task)
         try:
             await self._handshake(reader, writer)
-        except asyncio.CancelledError:
+        except asyncio.CancelledError:  # repro: noqa[ASY005] -- stop() awaits this task right after cancelling it; re-raising would spray the loop handler (see below)
             # Teardown mid-handshake: the accepted socket is not yet
             # owned by a _Connection, so close it here. The cancellation
             # is absorbed, not re-raised: stop() awaits this task right
@@ -395,8 +403,10 @@ class AsyncProxy:
         self._connections.add(conn)
         try:
             writer.write(STATUS_OK)
-            await writer.drain()
-        except (ConnectionError, OSError):
+            await asyncio.wait_for(
+                writer.drain(), self.config.drain_timeout_s
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError):
             self._abort_conn(conn, "client-reset")
             return
         conn.tasks = (
@@ -450,8 +460,10 @@ class AsyncProxy:
             self.connections_refused += 1
         try:
             writer.write(encode_status_error(reason))
-            await writer.drain()
-        except (ConnectionError, OSError):
+            await asyncio.wait_for(
+                writer.drain(), self.config.drain_timeout_s
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError):
             pass  # the peer is already gone; nothing to tell it
         writer.close()
         try:
@@ -534,7 +546,13 @@ class AsyncProxy:
                     break
                 self._touch(conn.state)
                 conn.origin_writer.write(data)
-                await conn.origin_writer.drain()
+                try:
+                    await asyncio.wait_for(
+                        conn.origin_writer.drain(),
+                        timeout=self.config.idle_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    break  # origin stopped consuming; treat as finished
         except (ConnectionError, OSError):
             pass  # either side reset; the downstream relay cleans up
         finally:
@@ -778,7 +796,15 @@ class AsyncProxy:
                 continue
             conn.client_writer.write(data)
             try:
-                await conn.client_writer.drain()
+                # Bounded drain: _burst runs inside the scheduler
+                # coroutine, so one wedged client receiver must not
+                # stall scheduling for every other client.
+                await asyncio.wait_for(
+                    conn.client_writer.drain(), self.config.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                self._abort_conn(conn, "client-stalled")
+                continue
             except (ConnectionError, OSError):
                 self._abort_conn(conn, "client-reset")
                 continue
@@ -819,5 +845,5 @@ class _ProxyControlProtocol(asyncio.DatagramProtocol):
     def __init__(self, proxy: AsyncProxy) -> None:
         self.proxy = proxy
 
-    def datagram_received(self, data: bytes, addr) -> None:
+    def datagram_received(self, data: bytes, addr: Any) -> None:
         self.proxy._on_control_datagram(data, addr)

@@ -131,7 +131,7 @@ class TaskSupervisor:
         for task in everything:
             try:
                 await task
-            except asyncio.CancelledError:
+            except asyncio.CancelledError:  # repro: noqa[ASY005] -- stop() cancelled every task one loop up; absorbing the echo is the reap
                 pass  # cancellation is the expected teardown outcome
             except Exception as exc:
                 log.debug(

@@ -1,0 +1,20 @@
+# repro: module-path=runtime/fake_slots.py
+"""BAD: shared state read before an await, written from the stale value."""
+
+import asyncio
+
+
+class SlotPool:
+    def __init__(self) -> None:
+        self.free_slots = 4
+        self.stats = {"admitted": 0}
+
+    async def admit(self) -> None:
+        free = self.free_slots
+        await asyncio.sleep(0)  # another task may admit/evict here
+        self.free_slots = free - 1
+
+    async def bump(self, key: str) -> None:
+        count = self.stats[key]
+        await asyncio.sleep(0)
+        self.stats[key] = count + 1

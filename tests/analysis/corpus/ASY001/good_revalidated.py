@@ -1,0 +1,26 @@
+# repro: module-path=runtime/fake_slots.py
+"""GOOD: reads are re-done or re-validated on the far side of the await."""
+
+import asyncio
+
+
+class SlotPool:
+    def __init__(self) -> None:
+        self.free_slots = 4
+        self.stats = {"admitted": 0}
+
+    async def admit(self) -> None:
+        await asyncio.sleep(0)
+        # Read after the suspension: nothing can interleave in between.
+        free = self.free_slots
+        self.free_slots = free - 1
+
+    async def admit_checked(self) -> None:
+        free = self.free_slots
+        await asyncio.sleep(0)
+        if self.free_slots == free:  # re-validate before committing
+            self.free_slots = free - 1
+
+    async def bump(self, key: str) -> None:
+        await asyncio.sleep(0)
+        self.stats[key] = self.stats[key] + 1

@@ -1,0 +1,10 @@
+# repro: module-path=runtime/fake_spawn.py
+"""BAD: fire-and-forget tasks whose handles are dropped."""
+
+import asyncio
+
+
+async def kick_off(work) -> None:
+    asyncio.create_task(work())         # dropped: may be GC'd mid-flight
+    asyncio.ensure_future(work())       # same failure via the old spelling
+    _ = asyncio.create_task(work())     # assigning to _ is still dropping

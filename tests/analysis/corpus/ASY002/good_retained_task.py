@@ -1,0 +1,17 @@
+# repro: module-path=runtime/fake_spawn.py
+"""GOOD: task handles are retained, supervised, or awaited."""
+
+import asyncio
+
+
+class Owner:
+    def __init__(self, supervisor) -> None:
+        self.supervisor = supervisor
+        self._tasks: set = set()
+
+    async def kick_off(self, work) -> None:
+        task = asyncio.create_task(work())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        self.supervisor.spawn(work())   # supervisor accounts for it
+        await task

@@ -1,0 +1,14 @@
+# repro: module-path=runtime/fake_dial.py
+"""BAD: network awaits with no timeout anywhere on the path."""
+
+import asyncio
+
+
+async def fetch(host: str, port: int) -> bytes:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"GET /\r\n")
+    await writer.drain()                 # peer may never empty the buffer
+    payload = await reader.read(65536)   # peer may never answer
+    writer.close()
+    await writer.wait_closed()           # peer may never FIN
+    return payload

@@ -1,0 +1,17 @@
+# repro: module-path=runtime/fake_dial.py
+"""GOOD: every network await is bounded by wait_for or a timeout scope."""
+
+import asyncio
+
+
+async def fetch(host: str, port: int) -> bytes:
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=5.0
+    )
+    writer.write(b"GET /\r\n")
+    await asyncio.wait_for(writer.drain(), timeout=5.0)
+    async with asyncio.timeout(5.0):
+        payload = await reader.read(65536)
+        writer.close()
+        await writer.wait_closed()
+    return payload

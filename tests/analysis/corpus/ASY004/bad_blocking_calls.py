@@ -1,0 +1,19 @@
+# repro: module-path=runtime/fake_block.py
+"""BAD: synchronous sleep and I/O inside async def stall the loop."""
+
+import socket
+import subprocess
+import time
+
+
+async def pace() -> None:
+    time.sleep(0.1)                      # freezes every client
+
+
+async def probe(host: str) -> bytes:
+    sock = socket.create_connection((host, 80))
+    out = subprocess.check_output(["dig", host])
+    with open("/etc/hosts") as fh:       # sync file I/O on the loop
+        fh.read()
+    sock.close()
+    return out

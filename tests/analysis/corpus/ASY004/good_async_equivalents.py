@@ -1,0 +1,28 @@
+# repro: module-path=runtime/fake_block.py
+"""GOOD: asyncio equivalents, or blocking work pushed off the loop."""
+
+import asyncio
+import subprocess
+import time
+
+
+async def pace() -> None:
+    await asyncio.sleep(0.1)
+
+
+async def probe(host: str) -> bytes:
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, 80), timeout=5.0
+    )
+    loop = asyncio.get_running_loop()
+    out = await loop.run_in_executor(
+        None, lambda: subprocess.check_output(["dig", host])
+    )
+    writer.close()
+    await asyncio.wait_for(writer.wait_closed(), timeout=5.0)
+    return out
+
+
+def sync_helper() -> float:
+    time.sleep(0.1)  # fine: not an async def
+    return time.monotonic()

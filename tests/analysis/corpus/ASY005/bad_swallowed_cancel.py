@@ -1,0 +1,16 @@
+# repro: module-path=runtime/fake_cancel.py
+"""BAD: CancelledError caught and swallowed; the task is uncancellable."""
+
+import asyncio
+
+
+async def serve(queue) -> None:
+    while True:
+        try:
+            item = await queue.get()
+        except asyncio.CancelledError:
+            continue                     # cancellation silently ignored
+        try:
+            print(item)
+        except (ValueError, asyncio.CancelledError):
+            pass                         # swallowed inside a tuple too

@@ -1,0 +1,22 @@
+# repro: module-path=runtime/fake_cancel.py
+"""GOOD: cleanup on cancellation, then re-raise so teardown completes."""
+
+import asyncio
+
+
+async def serve(queue, writer) -> None:
+    while True:
+        try:
+            item = await queue.get()
+        except asyncio.CancelledError:
+            writer.close()               # clean up ...
+            raise                        # ... and propagate
+        print(item)
+
+
+async def reap(task) -> None:
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:  # repro: noqa[ASY005] -- we cancelled it ourselves; absorbing here is the reap
+        pass

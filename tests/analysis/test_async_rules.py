@@ -1,0 +1,336 @@
+"""Flow-sensitivity of the ASY rules beyond the corpus fixtures."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+
+def run(source, module_path="runtime/fake.py"):
+    findings = analyze_source(
+        textwrap.dedent(source), "fake.py", module_path
+    )
+    return [(f.rule, f.line) for f in findings]
+
+
+def rules_of(source):
+    return {rule for rule, _line in run(source)}
+
+
+class TestAsy001FlowSensitivity:
+    def test_stale_rmw_is_flagged(self):
+        assert "ASY001" in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self):
+                    v = self.slots
+                    await asyncio.sleep(0)
+                    self.slots = v - 1
+            """
+        )
+
+    def test_read_after_await_is_clean(self):
+        assert "ASY001" not in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self):
+                    await asyncio.sleep(0)
+                    v = self.slots
+                    self.slots = v - 1
+            """
+        )
+
+    def test_revalidation_branch_is_clean(self):
+        assert "ASY001" not in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self):
+                    v = self.slots
+                    await asyncio.sleep(0)
+                    if self.slots == v:
+                        self.slots = v - 1
+            """
+        )
+
+    def test_await_in_only_one_branch_still_flags(self):
+        # May-analysis: the suspending path makes the write unsafe.
+        assert "ASY001" in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self, fast):
+                    v = self.slots
+                    if not fast:
+                        await asyncio.sleep(0)
+                    self.slots = v - 1
+            """
+        )
+
+    def test_staleness_survives_a_loop_back_edge(self):
+        assert "ASY001" in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self):
+                    v = self.slots
+                    for _ in range(3):
+                        await asyncio.sleep(0)
+                    self.slots = v - 1
+            """
+        )
+
+    def test_async_for_header_is_a_suspension(self):
+        assert "ASY001" in rules_of(
+            """
+            class P:
+                async def f(self, src):
+                    v = self.total
+                    async for item in src:
+                        pass
+                    self.total = v + 1
+            """
+        )
+
+    def test_taint_flows_through_arithmetic(self):
+        assert "ASY001" in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self):
+                    doubled = self.count * 2
+                    await asyncio.sleep(0)
+                    self.count = doubled + 1
+            """
+        )
+
+    def test_fresh_call_result_is_untainted(self):
+        assert "ASY001" not in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self):
+                    v = self.compute()
+                    await asyncio.sleep(0)
+                    self.result = v
+            """
+        )
+
+    def test_write_to_different_attribute_is_clean(self):
+        # Staleness is per-location: writing b from a stale read of a
+        # is not the read-modify-write shape.
+        assert "ASY001" not in rules_of(
+            """
+            import asyncio
+
+            class P:
+                async def f(self):
+                    v = self.a
+                    await asyncio.sleep(0)
+                    self.b = v
+            """
+        )
+
+    def test_local_only_state_is_ignored(self):
+        assert "ASY001" not in rules_of(
+            """
+            import asyncio
+
+            async def f():
+                local = {"k": 1}
+                v = local["k"]
+                await asyncio.sleep(0)
+                local["k"] = v + 1
+            """
+        )
+
+    def test_sync_methods_are_ignored(self):
+        assert "ASY001" not in rules_of(
+            """
+            class P:
+                def f(self):
+                    v = self.slots
+                    self.slots = v - 1
+            """
+        )
+
+
+class TestAsy002:
+    def test_underscore_assignment_is_still_dropping(self):
+        assert "ASY002" in rules_of(
+            """
+            import asyncio
+
+            async def f(work):
+                _ = asyncio.create_task(work())
+            """
+        )
+
+    def test_retained_handle_is_clean(self):
+        assert "ASY002" not in rules_of(
+            """
+            import asyncio
+
+            async def f(work, registry):
+                t = asyncio.create_task(work())
+                registry.add(t)
+                await t
+            """
+        )
+
+    def test_supervisor_spawn_is_clean(self):
+        assert "ASY002" not in rules_of(
+            """
+            async def f(supervisor, work):
+                supervisor.spawn(work())
+            """
+        )
+
+
+class TestAsy003:
+    def test_wait_for_wrapping_is_clean(self):
+        assert "ASY003" not in rules_of(
+            """
+            import asyncio
+
+            async def f(reader):
+                return await asyncio.wait_for(reader.read(1), timeout=1.0)
+            """
+        )
+
+    def test_timeout_context_bounds_everything_inside(self):
+        assert "ASY003" not in rules_of(
+            """
+            import asyncio
+
+            async def f(reader, writer):
+                async with asyncio.timeout(2.0):
+                    await writer.drain()
+                    return await reader.read(1)
+            """
+        )
+
+    def test_bare_network_await_is_flagged(self):
+        assert "ASY003" in rules_of(
+            """
+            async def f(writer):
+                await writer.drain()
+            """
+        )
+
+    def test_event_wait_is_not_a_network_await(self):
+        # Parking on an Event is deliberate backpressure, not a peer.
+        assert "ASY003" not in rules_of(
+            """
+            async def f(event):
+                await event.wait()
+            """
+        )
+
+    def test_timeout_scope_does_not_leak_to_siblings(self):
+        findings = run(
+            """
+            import asyncio
+
+            async def f(reader):
+                async with asyncio.timeout(2.0):
+                    await reader.read(1)
+                await reader.read(1)
+            """
+        )
+        asy3 = [line for rule, line in findings if rule == "ASY003"]
+        assert len(asy3) == 1  # only the await outside the scope
+
+
+class TestAsy004:
+    def test_sync_helper_nested_in_async_is_clean(self):
+        assert "ASY004" not in rules_of(
+            """
+            import time
+
+            async def f():
+                def helper():
+                    time.sleep(1)
+                return helper
+            """
+        )
+
+    def test_blocking_sleep_in_async_is_flagged(self):
+        assert "ASY004" in rules_of(
+            """
+            import time
+
+            async def f():
+                time.sleep(1)
+            """
+        )
+
+
+class TestAsy005:
+    def test_tuple_catch_is_flagged(self):
+        assert "ASY005" in rules_of(
+            """
+            import asyncio
+
+            async def f(q):
+                try:
+                    await q.get()
+                except (ValueError, asyncio.CancelledError):
+                    pass
+            """
+        )
+
+    def test_reraise_is_clean(self):
+        assert "ASY005" not in rules_of(
+            """
+            import asyncio
+
+            async def f(q, w):
+                try:
+                    await q.get()
+                except asyncio.CancelledError:
+                    w.close()
+                    raise
+            """
+        )
+
+    def test_bare_except_is_not_asy005(self):
+        # Bare except is ERR002's finding, not a cancellation-specific one.
+        assert "ASY005" not in rules_of(
+            """
+            async def f(q):
+                try:
+                    await q.get()
+                except Exception:
+                    pass
+            """
+        )
+
+
+class TestWaiverIntegration:
+    def test_noqa_waives_an_asy_finding(self):
+        assert "ASY003" not in rules_of(
+            """
+            async def f(writer):
+                await writer.drain()  # repro: noqa[ASY003] -- test waiver
+            """
+        )
+
+    def test_stale_asy_waiver_is_reported(self):
+        findings = run(
+            """
+            import asyncio
+
+            async def f():
+                await asyncio.sleep(0)  # repro: noqa[ASY003] -- stale
+            """
+        )
+        assert ("SUP001", 5) in findings

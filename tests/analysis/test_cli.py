@@ -1,6 +1,7 @@
 """End-to-end `python -m repro analyze` behavior and the repo gate."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.cli import main
@@ -79,3 +80,60 @@ def test_baseline_workflow(tmp_path, capsys):
     # Without the baseline the finding still fails the gate.
     code, _ = run(["analyze", bad], capsys)
     assert code == 1
+
+
+def test_stale_waiver_fails_even_with_baseline(tmp_path, capsys):
+    """SUP001 is exempt from grandfathering: a stale waiver always
+    fails, so the waiver inventory cannot rot behind a baseline."""
+    stale = tmp_path / "stale.py"
+    stale.write_text("x = 1  # repro: noqa[ERR001] -- nothing raises\n")
+    baseline = tmp_path / "baseline.json"
+    code, _ = run(
+        ["analyze", str(stale), "--baseline", str(baseline),
+         "--write-baseline"],
+        capsys,
+    )
+    assert code == 0
+    code, out = run(
+        ["analyze", str(stale), "--baseline", str(baseline)], capsys
+    )
+    assert code == 1
+    assert "SUP001" in out
+
+
+def test_sarif_output(capsys):
+    bad = str(CORPUS / "ASY003" / "bad_unbounded_network.py")
+    code, out = run(["analyze", bad, "--format", "sarif"], capsys)
+    assert code == 1
+    log = json.loads(out)
+    assert log["version"] == "2.1.0"
+    results = log["runs"][0]["results"]
+    assert any(r["ruleId"] == "ASY003" for r in results)
+
+
+def test_changed_mode_end_to_end(tmp_path, capsys, monkeypatch):
+    def git(*args):
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.invalid",
+             "-c", "user.name=t", *args],
+            cwd=tmp_path, check=True, capture_output=True,
+        )
+
+    git("init", "-b", "main")
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    git("add", "-A")
+    git("commit", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+
+    # Nothing changed: the run is a no-op success.
+    code, out = run(["analyze", str(tmp_path), "--changed", "main"], capsys)
+    assert code == 0
+    assert "no changed python files" in out
+
+    # An untracked bad file is picked up; the committed one is not.
+    bad = tmp_path / "bad.py"
+    bad.write_text("raise ValueError('x')\n")
+    code, out = run(["analyze", str(tmp_path), "--changed", "main"], capsys)
+    assert code == 1
+    assert "bad.py" in out and "clean.py" not in out

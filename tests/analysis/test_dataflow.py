@@ -1,0 +1,149 @@
+"""The forward-dataflow framework: joins, fixpoints, and the
+non-convergence guard."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import build_cfg, iter_function_defs
+from repro.analysis.dataflow import (
+    MAX_VISITS_PER_BLOCK,
+    DataflowResult,
+    ForwardAnalysis,
+    run_forward,
+)
+from repro.errors import AnalysisError
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    (_name, func), *_ = list(iter_function_defs(tree))
+    return build_cfg(func)
+
+
+class AssignedNames(ForwardAnalysis):
+    """May-analysis: the set of names assigned on some path."""
+
+    def initial(self, cfg):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, block, state):
+        names = set(state)
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.Assign):
+                names.update(
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                )
+        return frozenset(names)
+
+
+def exit_state(cfg, analysis):
+    result = run_forward(analysis, cfg)
+    assert isinstance(result, DataflowResult)
+    return result.state_in(cfg.exit)
+
+
+class TestFixpoint:
+    def test_straight_line_accumulates(self):
+        cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+            """
+        )
+        assert exit_state(cfg, AssignedNames()) == {"a", "b"}
+
+    def test_diamond_joins_both_branches(self):
+        cfg = cfg_of(
+            """
+            def f():
+                if cond:
+                    a = 1
+                else:
+                    b = 2
+                c = 3
+            """
+        )
+        # May-analysis: the join sees assignments from both arms.
+        assert exit_state(cfg, AssignedNames()) == {"a", "b", "c"}
+
+    def test_loop_body_flows_through_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f():
+                while cond:
+                    a = 1
+                b = 2
+            """
+        )
+        assert exit_state(cfg, AssignedNames()) == {"a", "b"}
+
+    def test_dead_code_still_gets_states(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                a = 2
+            """
+        )
+        result = run_forward(AssignedNames(), cfg)
+        for block in cfg.blocks:
+            result.state_in(block.id)
+            result.state_out(block.id)  # no KeyError on unreachable blocks
+
+    def test_exception_edge_reaches_handler_without_late_body(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    a = 1
+                    b = 2
+                except ValueError:
+                    c = 3
+            """
+        )
+        # The handler may run before b's assignment, but a may-analysis
+        # over conservative edges still unions everything at the exit.
+        assert exit_state(cfg, AssignedNames()) >= {"a", "c"}
+
+
+class NonMonotone(ForwardAnalysis):
+    """A broken client whose state never stabilizes."""
+
+    def initial(self, cfg):
+        return 0
+
+    def join(self, left, right):
+        return max(left, right)
+
+    def transfer(self, block, state):
+        return state + 1  # grows forever
+
+
+class TestConvergenceGuard:
+    def test_non_monotone_client_raises_analysis_error(self):
+        cfg = cfg_of(
+            """
+            def f():
+                while cond:
+                    a = 1
+            """
+        )
+        with pytest.raises(AnalysisError):
+            run_forward(NonMonotone(), cfg)
+
+    def test_bound_is_generous_for_honest_clients(self):
+        # A deep chain of branches converges in far fewer visits than
+        # the guard allows.
+        body = "\n".join(
+            f"    if c{i}:\n        a{i} = {i}" for i in range(20)
+        )
+        cfg = cfg_of(f"def f():\n{body}\n")
+        names = exit_state(cfg, AssignedNames())
+        assert names == {f"a{i}" for i in range(20)}
+        assert MAX_VISITS_PER_BLOCK >= 8

@@ -143,3 +143,25 @@ class TestBaseline:
         path.write_text(json.dumps({"version": 99, "findings": {}}))
         with pytest.raises(ConfigurationError):
             load_baseline(path)
+
+    def test_stale_waivers_cannot_be_grandfathered(self, tmp_path):
+        # A file whose only problem is an unused suppression: the
+        # SUP001 finding must neither be written into a baseline nor
+        # filtered out by one that (hand-edited) lists it.
+        src = "x = 1  # repro: noqa[ERR001] -- nothing here raises\n"
+        findings = analyze(src)
+        assert [f.rule for f in findings] == ["SUP001"]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        assert load_baseline(path) == {}  # nothing was recorded
+        forged = {findings[0].fingerprint(): 5}
+        assert filter_baselined(findings, forged) == findings
+
+    def test_parse_errors_cannot_be_grandfathered(self, tmp_path):
+        findings = analyze("def broken(:\n")
+        assert [f.rule for f in findings] == ["E000"]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        assert load_baseline(path) == {}
+        forged = {findings[0].fingerprint(): 1}
+        assert filter_baselined(findings, forged) == findings

@@ -1,10 +1,16 @@
-"""Output renderers: text, JSON, GitHub annotations."""
+"""Output renderers: text, JSON, GitHub annotations, SARIF."""
 
 import json
 
 from repro.analysis import analyze_source
-from repro.analysis.output import render_github, render_json, render_text
+from repro.analysis.output import (
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import RULES
 
 
 def findings():
@@ -47,3 +53,38 @@ def test_empty_renders_empty():
     assert render_text([]) == ""
     assert json.loads(render_json([])) == []
     assert render_github([]) == ""
+
+
+class TestSarif:
+    def test_log_shape(self):
+        log = json.loads(render_sarif(findings()))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        (result,) = run["results"]
+        assert result["ruleId"] == "ERR001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        assert region["startColumn"] == 1  # SARIF columns are 1-based
+
+    def test_every_registered_rule_is_described(self):
+        log = json.loads(render_sarif([]))
+        described = {
+            r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert described >= set(RULES)
+        assert {"E000", "SUP001"} <= described  # engine pseudo-rules too
+
+    def test_fingerprint_matches_engine_fingerprint(self):
+        (finding,) = findings()
+        log = json.loads(render_sarif([finding]))
+        (result,) = log["runs"][0]["results"]
+        assert (
+            result["partialFingerprints"]["reproAnalyze/v1"]
+            == finding.fingerprint()
+        )
+
+    def test_empty_findings_render_valid_empty_run(self):
+        log = json.loads(render_sarif([]))
+        assert log["runs"][0]["results"] == []

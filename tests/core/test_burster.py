@@ -72,6 +72,33 @@ class TestMarkingController:
         assert controller.fwd_offset <= controller.sent_offset
         assert controller.fwd_offset == controller.sent_offset
 
+    def test_mark_stalled_by_window_survives_later_marks(self):
+        """A marked hand-off whose final byte is stuck behind the send
+        window must still be marked once the window reopens, even when
+        later hand-offs set newer marks in the meantime."""
+        sim, a, b, sender, receiver = make_established_pair()
+        marked = []
+        b.taps.append(
+            lambda p, i: (
+                marked.append((p.seq, p.end_seq)) if p.tos_marked else None,
+                False,
+            )[1]
+        )
+        sender.cwnd = sender.peer_rwnd
+        controller = MarkingController(sender)
+        # First hand-off overflows the initial window, so its mark byte
+        # cannot be emitted synchronously; the second overwrites the
+        # paper's scalar `mark` variable before the window reopens.
+        first = sender.peer_rwnd + 500
+        marks = []
+        for size in (first, 2000):
+            marks.append(sender.app_limit + size - 1)
+            controller.hand_bytes(size, mark_last=True)
+        sim.run(until=30.0)
+        for mark_byte in marks:
+            assert any(s <= mark_byte < e for s, e in marked)
+        assert controller.segments_marked == 2
+
     def test_retransmitted_mark_segment_is_marked_again(self):
         drop_state = {"dropped": False}
 
