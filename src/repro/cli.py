@@ -126,6 +126,25 @@ def parse_burst_loss(text: str):
     return GilbertElliottSpec(**kwargs)
 
 
+def parse_channel(text: str, epoch_s: float = 0.1):
+    """'p_gb:p_bg[:loss_bad[:loss_good]]' -> ChannelPlan."""
+    from repro.net.channel import ChannelPlan
+
+    try:
+        parts = [float(p) for p in text.split(":")]
+    except ValueError as exc:
+        raise ConfigurationError(f"bad channel spec {text!r}: {exc}") from exc
+    if len(parts) not in (2, 3, 4):
+        raise ConfigurationError(
+            f"bad channel spec {text!r}: expected "
+            "p_gb:p_bg[:loss_bad[:loss_good]]"
+        )
+    kwargs = dict(
+        zip(("p_good_bad", "p_bad_good", "loss_bad", "loss_good"), parts)
+    )
+    return ChannelPlan(epoch_s=epoch_s, **kwargs)
+
+
 def build_fault_plan(args):
     """Assemble a FaultPlan from the ``--fault-*`` options (or None)."""
     from repro.faults import ClockFaultSpec, FaultPlan
@@ -239,6 +258,14 @@ def build_experiment_config(args):
         early_s=args.early_ms / 1000.0,
         reuse_schedules=args.reuse,
         faults=build_fault_plan(args),
+        policy=args.policy,
+        policy_threshold_bytes=args.policy_threshold,
+        policy_max_defer=args.policy_max_defer,
+        channel=(
+            parse_channel(args.channel, epoch_s=args.channel_epoch_s)
+            if args.channel
+            else None
+        ),
     )
 
 
@@ -319,14 +346,25 @@ def cmd_trace(args) -> int:
 def cmd_figure(args) -> int:
     from repro.experiments import figures
 
-    driver: Callable = {
-        "4": figures.figure4,
-        "5": figures.figure5,
-        "6": figures.figure6,
-        "7": figures.figure7,
-    }[args.number]
     engine = build_engine(args)
-    rows = driver(seed=args.seed, quick=args.quick, engine=engine)
+    if args.number == "pareto":
+        from repro.core.policy import POLICY_NAMES
+
+        policies = (
+            POLICY_NAMES if args.policy == "all" else (args.policy,)
+        )
+        rows = figures.pareto(
+            seed=args.seed, quick=args.quick, policies=policies,
+            engine=engine,
+        )
+    else:
+        driver: Callable = {
+            "4": figures.figure4,
+            "5": figures.figure5,
+            "6": figures.figure6,
+            "7": figures.figure7,
+        }[args.number]
+        rows = driver(seed=args.seed, quick=args.quick, engine=engine)
     print_rows(rows, args.json)
     _print_engine_summary(engine, args.json)
     return 0
@@ -598,6 +636,28 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--early-ms", type=float, default=6.0)
         command.add_argument("--reuse", action="store_true",
                              help="enable §5 schedule reuse")
+        policy = command.add_argument_group(
+            "slot-admission policy (see repro.core.policy; 'dynamic' "
+            "reproduces the paper byte-for-byte)"
+        )
+        policy.add_argument("--policy",
+                            choices=("dynamic", "channel", "joint"),
+                            default="dynamic")
+        policy.add_argument("--policy-threshold", type=int, default=1,
+                            metavar="BYTES",
+                            help="joint policy: backlog that overrides a "
+                                 "bad channel")
+        policy.add_argument("--policy-max-defer", type=int, default=2,
+                            metavar="N",
+                            help="channel policy: max consecutive deferrals")
+        policy.add_argument("--channel", default="",
+                            metavar="PGB:PBG[:LBAD[:LGOOD]]",
+                            help="per-client Gilbert-Elliott channel model "
+                                 "(exclusive RNG streams; never perturbs "
+                                 "fault replays)")
+        policy.add_argument("--channel-epoch-s", type=float, default=0.1,
+                            metavar="SECONDS",
+                            help="channel transition grid (default 0.1)")
         faults = command.add_argument_group(
             "fault injection (deterministic under --seed; see repro.faults)"
         )
@@ -678,10 +738,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_options(trace)
     trace.set_defaults(func=cmd_trace)
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure")
-    figure.add_argument("number", choices=("4", "5", "6", "7"))
+    figure = sub.add_parser(
+        "figure",
+        help="regenerate a paper figure (or the policy 'pareto' extension)",
+    )
+    figure.add_argument("number", choices=("4", "5", "6", "7", "pareto"))
     figure.add_argument("--quick", action="store_true")
     figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument(
+        "--policy", choices=("dynamic", "channel", "joint", "all"),
+        default="all",
+        help="pareto only: which policies to sweep (default: all)",
+    )
     figure.add_argument("--json", action="store_true")
     add_executor_options(figure)
     figure.set_defaults(func=cmd_figure)

@@ -18,7 +18,11 @@ Components map one-to-one onto the paper's §3:
 * :mod:`~repro.core.client` — the client daemon that transitions the
   WNIC around rendezvous points;
 * :mod:`~repro.core.delay_comp` — delay-compensation algorithms
-  (§3.3).
+  (§3.3);
+* :mod:`~repro.core.policy` — the slot-admission policy family
+  (paper-dynamic, channel-aware, joint queue+channel threshold) and
+  the discrete (queue, channel) model the offline DP optimum in
+  :mod:`repro.energy.optimal` is defined over.
 """
 
 from repro.core.bandwidth_model import LinearCostModel
@@ -27,6 +31,20 @@ from repro.core.delay_comp import (
     AdaptiveCompensator,
     FixedClockCompensator,
     OracleCompensator,
+)
+from repro.core.policy import (
+    POLICY_NAMES,
+    ChannelAwarePolicy,
+    ClientView,
+    JointThresholdPolicy,
+    PaperDynamicPolicy,
+    PolicyInstance,
+    PolicyOutcome,
+    SchedulingPolicy,
+    execute_grants,
+    make_policy,
+    random_instance,
+    rollout,
 )
 from repro.core.proxy import TransparentProxy
 from repro.core.queues import ClientQueue, QueueEntry
@@ -37,15 +55,27 @@ from repro.core.static_schedule import StaticScheduler
 __all__ = [
     "AdaptiveCompensator",
     "BurstSlot",
+    "ChannelAwarePolicy",
     "ClientQueue",
+    "ClientView",
     "DynamicScheduler",
     "FixedClockCompensator",
+    "JointThresholdPolicy",
     "LinearCostModel",
     "OracleCompensator",
+    "POLICY_NAMES",
+    "PaperDynamicPolicy",
+    "PolicyInstance",
+    "PolicyOutcome",
     "PowerAwareClient",
     "QueueEntry",
     "SCHEDULE_PORT",
     "Schedule",
+    "SchedulingPolicy",
     "StaticScheduler",
     "TransparentProxy",
+    "execute_grants",
+    "make_policy",
+    "random_instance",
+    "rollout",
 ]

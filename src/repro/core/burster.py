@@ -141,7 +141,10 @@ class Burster:
                 sendable.append((entry, chunk))
             if chunk < entry.nbytes:
                 leftovers.append(
-                    QueueEntry("tcp", entry.nbytes - chunk, connection=conn)
+                    QueueEntry(
+                        "tcp", entry.nbytes - chunk, connection=conn,
+                        enqueued_at=entry.enqueued_at,
+                    )
                 )
         for leftover in reversed(leftovers):
             queue.push_front(leftover)

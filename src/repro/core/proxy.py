@@ -48,6 +48,17 @@ class SchedulerLike(Protocol):
     def run(self) -> Iterator[Event]: ...
 
 
+class ChannelStateProvider(Protocol):
+    """Anything that can report a client's current channel state.
+
+    Structurally matched by :class:`repro.net.channel.ChannelModel`
+    (kept as a Protocol so :mod:`repro.core` never imports
+    :mod:`repro.net.channel`).
+    """
+
+    def state_good(self, client_ip: str, now: float) -> bool: ...
+
+
 @dataclass
 class SplitConnection:
     """A spliced client/server connection pair."""
@@ -106,6 +117,11 @@ class TransparentProxy(Node):
         self._client_conns: dict[str, list[TcpConnection]] = {}
         self._schedule_socket = UdpSocket(self, SCHEDULE_PORT)
         self.scheduler: Optional[SchedulerLike] = None  # via attach_scheduler()
+        #: Optional per-client channel model (see
+        #: :mod:`repro.net.channel`): the proxy's window into each
+        #: client's current channel state, consulted by channel-aware
+        #: scheduling policies. None means every client reads as good.
+        self.channel: Optional[ChannelStateProvider] = None
         self.udp_packets_intercepted = 0
         self.tcp_connections_split = 0
         #: Last simulated time any uplink packet from each client was
@@ -141,9 +157,26 @@ class TransparentProxy(Node):
         """The (lazily created) queue of one client."""
         queue = self._queues.get(client_ip)
         if queue is None:
-            queue = ClientQueue(client_ip)
+            queue = ClientQueue(client_ip, clock=lambda: self.sim.now)
             self._queues[client_ip] = queue
         return queue
+
+    def channel_state(self, client_ip: str) -> bool:
+        """Current channel state of one client (True = good).
+
+        The scheduler's observability hook: with no channel model
+        installed every client reads as good, which makes the
+        channel-aware policies collapse onto the paper's dynamic one.
+        """
+        if self.channel is None:
+            return True
+        return self.channel.state_good(client_ip, self.sim.now)
+
+    def mean_queue_delay_s(self) -> float:
+        """Byte-weighted mean queueing delay across all client queues."""
+        delay = sum(q.delay_byte_s for q in self._queues.values())
+        dequeued = sum(q.dequeued_bytes for q in self._queues.values())
+        return delay / dequeued if dequeued else 0.0
 
     def iter_queues(self) -> list[tuple[str, ClientQueue]]:
         """(ip, queue) pairs in a deterministic order."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SchedulingError
 from repro.net.packet import Packet
@@ -31,6 +31,10 @@ class QueueEntry:
     nbytes: int
     packet: Optional[Packet] = None  # udp only
     connection: Optional["TcpConnection"] = None  # tcp only
+    #: Simulated time the data entered the queue (0.0 when the queue
+    #: has no clock). Splits and burster leftovers inherit it, so the
+    #: delay accounting always sees the *first* enqueue time.
+    enqueued_at: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("udp", "tcp"):
@@ -46,14 +50,47 @@ class QueueEntry:
 class ClientQueue:
     """FIFO of pending downlink data for one client."""
 
-    def __init__(self, client_ip: str) -> None:
+    def __init__(
+        self,
+        client_ip: str,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Args:
+        clock: optional simulated-time source. When given, entries are
+            stamped on enqueue and the queue accumulates byte-weighted
+            queueing delay on dequeue — the mean-delay axis of the
+            policy Pareto front. Without a clock (unit tests, legacy
+            callers) the accounting is disabled and behavior is
+            unchanged.
+        """
         self.client_ip = client_ip
+        self.clock = clock
         self._entries: deque[QueueEntry] = deque()
         self.bytes_pending = 0
         self.peak_bytes = 0
         self.total_enqueued_bytes = 0
         self.has_udp = False
         self.has_tcp = False
+        #: Byte-weighted queueing delay accumulated on dequeue.
+        self.delay_byte_s = 0.0
+        #: Bytes that have left through :meth:`pop_up_to`.
+        self.dequeued_bytes = 0
+
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        """Mean per-byte time spent queued (0.0 before any dequeue).
+
+        Coalesced TCP credits keep the *earliest* enqueue time, so for
+        streams this slightly overestimates absolute delay; the metric
+        is meant for comparisons across scheduling policies, which all
+        share the same accounting.
+        """
+        if self.dequeued_bytes == 0:
+            return 0.0
+        return self.delay_byte_s / self.dequeued_bytes
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -65,7 +102,12 @@ class ClientQueue:
 
     def push_udp(self, packet: Packet) -> None:
         """Buffer a (spoofed) UDP packet for the next burst."""
-        self._push(QueueEntry("udp", packet.payload_size, packet=packet))
+        self._push(
+            QueueEntry(
+                "udp", packet.payload_size, packet=packet,
+                enqueued_at=self._now(),
+            )
+        )
         self.has_udp = True
 
     def push_tcp(self, connection: "TcpConnection", nbytes: int) -> None:
@@ -85,7 +127,12 @@ class ClientQueue:
             self._entries[-1].nbytes += nbytes
             self._account(nbytes)
             return
-        self._push(QueueEntry("tcp", nbytes, connection=connection))
+        self._push(
+            QueueEntry(
+                "tcp", nbytes, connection=connection,
+                enqueued_at=self._now(),
+            )
+        )
 
     def _push(self, entry: QueueEntry) -> None:
         self._entries.append(entry)
@@ -124,6 +171,7 @@ class ClientQueue:
     def _pop_fifo(self, byte_budget: int) -> list[QueueEntry]:
         taken: list[QueueEntry] = []
         remaining = byte_budget
+        now = self._now() if self.clock is not None else 0.0
         while self._entries and remaining > 0:
             head = self._entries[0]
             if head.kind == "udp":
@@ -138,6 +186,7 @@ class ClientQueue:
                 taken.append(head)
                 remaining -= head.nbytes
                 self.bytes_pending -= head.nbytes
+                self._account_dequeue(head.nbytes, head.enqueued_at, now)
             else:
                 chunk = min(head.nbytes, remaining)
                 if chunk == head.nbytes:
@@ -146,11 +195,23 @@ class ClientQueue:
                 else:
                     head.nbytes -= chunk
                     taken.append(
-                        QueueEntry("tcp", chunk, connection=head.connection)
+                        QueueEntry(
+                            "tcp", chunk, connection=head.connection,
+                            enqueued_at=head.enqueued_at,
+                        )
                     )
                 remaining -= chunk
                 self.bytes_pending -= chunk
+                self._account_dequeue(chunk, head.enqueued_at, now)
         return taken
+
+    def _account_dequeue(
+        self, nbytes: int, enqueued_at: float, now: float
+    ) -> None:
+        if self.clock is None:
+            return
+        self.delay_byte_s += max(0.0, now - enqueued_at) * nbytes
+        self.dequeued_bytes += nbytes
 
     def push_front(self, entry: QueueEntry) -> None:
         """Return an entry to the head of the queue (burster leftovers).

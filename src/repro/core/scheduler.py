@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.bandwidth_model import LinearCostModel
+from repro.core.policy import ClientView, PaperDynamicPolicy, SchedulingPolicy
 from repro.core.schedule import BurstSlot, Schedule
 from repro.errors import SchedulingError
 from repro.obs.metrics import BYTES_BUCKETS, RATIO_BUCKETS, SECONDS_BUCKETS
@@ -52,6 +53,7 @@ class DynamicScheduler:
         schedule_guard_s: float = DEFAULT_SCHEDULE_GUARD_S,
         reuse_schedules: bool = False,
         silence_timeout_s: Optional[float] = None,
+        policy: Optional[SchedulingPolicy] = None,
     ) -> None:
         """Args:
         proxy: owning proxy (supplies queues, burster and the socket).
@@ -63,6 +65,10 @@ class DynamicScheduler:
             has been silent this long (None disables reclamation). A
             client that never transmitted anything is never judged
             silent — there is no baseline to decay from.
+        policy: slot-admission policy (see :mod:`repro.core.policy`).
+            Defaults to the paper's dynamic policy, which admits every
+            backlogged client — byte-identical to the pre-policy
+            scheduler.
         """
         if interval_s is not None and interval_s <= 0:
             raise SchedulingError(f"interval must be positive: {interval_s!r}")
@@ -83,6 +89,14 @@ class DynamicScheduler:
         self.schedule_guard_s = schedule_guard_s
         self.reuse_schedules = reuse_schedules
         self.silence_timeout_s = silence_timeout_s
+        self.policy: SchedulingPolicy = (
+            policy if policy is not None else PaperDynamicPolicy()
+        )
+        self.policy_grants = 0
+        self.policy_defers = 0
+        #: Consecutive intervals each backlogged client has been held
+        #: back by the policy (cleared on admission or on drain).
+        self._deferred: dict[str, int] = {}
         self.schedules_sent = 0
         self.schedules_reused = 0
         self.slots_reclaimed = 0
@@ -162,6 +176,7 @@ class DynamicScheduler:
             if self.proxy.scheduling_backlog(ip) > 0
             and ip not in self._silenced
         ]
+        pending = self._admit(pending)
         # Rotate the burst order every interval so no client always goes
         # first (the paper's example schedules reorder clients freely).
         # Schedule reuse needs a *stable* order, so reuse disables it.
@@ -183,6 +198,57 @@ class DynamicScheduler:
             next_srp=srp + interval,
             slots=tuple(slots),
         )
+
+    def _admit(
+        self, pending: list[tuple[str, int, int]]
+    ) -> list[tuple[str, int, int]]:
+        """Apply the slot-admission policy, preserving ``pending`` order.
+
+        The policy sees one :class:`ClientView` per backlogged client
+        (channel state via the proxy's observability hook, deferral age
+        from the scheduler's own bookkeeping) and returns the admitted
+        keys; held-back clients keep their bytes queued and age their
+        deferral counter. The default dynamic policy admits everyone,
+        so the filter — and all its observability — is a no-op on
+        legacy configurations.
+        """
+        if not pending:
+            self._deferred = {}
+            return pending
+        views = [
+            ClientView(
+                key=ip,
+                backlog=udp_b + tcp_b,
+                channel_good=self.proxy.channel_state(ip),
+                deferred=self._deferred.get(ip, 0),
+            )
+            for ip, udp_b, tcp_b in pending
+        ]
+        admitted_keys = set(self.policy.admit(views))
+        admitted = [entry for entry in pending if entry[0] in admitted_keys]
+        deferred: dict[str, int] = {}
+        chatty = self.policy.name != "dynamic"
+        now = self.proxy.sim.now
+        for view in views:
+            if view.key in admitted_keys:
+                continue
+            deferred[view.key] = view.deferred + 1
+            self.policy_defers += 1
+            if chatty:
+                self.proxy.obs.event(
+                    now, "scheduler.policy_defer",
+                    client=view.key, backlog=view.backlog,
+                    deferred=view.deferred + 1,
+                    channel="good" if view.channel_good else "bad",
+                )
+                self.proxy.obs.inc(
+                    "scheduler.policy_defers", client=view.key,
+                )
+        self._deferred = deferred
+        self.policy_grants += len(admitted)
+        if chatty and admitted:
+            self.proxy.obs.inc("scheduler.policy_grants", len(admitted))
+        return admitted
 
     def _variable_layout(self, srp, lead, pending):
         durations = {

@@ -15,10 +15,23 @@ where ``T_recv`` is the time to receive the stream back-to-back,
 ``T_np`` are the stream durations with and without the proxy (equal
 for rate-controlled streams), ``B`` the stream bytes and ``e_b`` the
 *extra* energy per byte a receiving card pays above idle.
+
+Beyond the paper's closed form, this module also hosts the offline
+**finite-horizon dynamic-programming optimum** over the discrete
+(queue, channel) model of :mod:`repro.core.policy`: for a small
+instance with a known channel realization, :func:`dp_optimal` computes
+the cost-minimal grant sequence by backward induction — the
+clairvoyant ground-truth oracle the differential test harness measures
+every online policy against. :func:`brute_force_value` re-derives the
+same optimum by forward enumeration as an independent cross-check.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policy import PolicyInstance, PolicyOutcome, execute_grants
 from repro.errors import ConfigurationError
 from repro.wnic.power import PowerModel
 
@@ -72,3 +85,135 @@ def optimal_energy_saved_pct(
     )
     naive = naive_energy_j(stream_bytes, duration_s, effective_rate_bps, power)
     return 100.0 * (1.0 - optimal / naive)
+
+
+# ---------------------------------------------------------------------------
+# Offline DP optimum over the discrete (queue, channel) model
+# ---------------------------------------------------------------------------
+
+#: Strict-improvement margin for action comparisons: keeps tie-breaking
+#: (idle first, then lowest client index) deterministic under float
+#: accumulation noise.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class DpSolution:
+    """The DP optimum: its value and the executed grant sequence.
+
+    ``value`` is the backward-induction optimum; ``outcome`` re-executes
+    the extracted grants through the shared
+    :func:`~repro.core.policy.execute_grants` accounting. The two must
+    agree to float precision — the differential suite asserts it.
+    """
+
+    value: float
+    outcome: PolicyOutcome
+
+
+def dp_optimal(instance: PolicyInstance) -> DpSolution:
+    """Cost-minimal grant sequence for a known channel realization.
+
+    Finite-horizon backward induction over ``(slot, queue vector)``:
+    per slot the controller may idle or serve one backlogged client,
+    paying the state-dependent transmission cost plus holding cost on
+    everything still queued; packets left at the horizon pay the
+    unserved penalty. The channel realization is part of the instance,
+    so this optimum is clairvoyant — a lower bound no online policy
+    can beat on the same instance (the differential harness's anchor).
+
+    The state space is ``O(horizon * prod(max_queue_i + 1))``; intended
+    for the small instances of the test harness and the Pareto model
+    rows, not for full simulations.
+    """
+    horizon = instance.horizon
+    n = instance.n_clients
+    hold = instance.hold_cost
+    memo: dict[tuple[int, tuple[int, ...]], tuple[float, Optional[int]]] = {}
+
+    def best(slot: int, queues: tuple[int, ...]) -> tuple[float, Optional[int]]:
+        if slot == horizon:
+            return instance.unserved_penalty * sum(queues), None
+        key = (slot, queues)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        landed = tuple(
+            backlog + arriving
+            for backlog, arriving in zip(queues, instance.arrivals[slot])
+        )
+        # Idle is the baseline action; serving must strictly beat it.
+        best_cost = hold * sum(landed) + best(slot + 1, landed)[0]
+        best_action: Optional[int] = None
+        for client in range(n):
+            if landed[client] == 0:
+                continue
+            after = landed[:client] + (landed[client] - 1,) + landed[client + 1:]
+            cost = (
+                instance.tx_cost(slot, client)
+                + hold * sum(after)
+                + best(slot + 1, after)[0]
+            )
+            if cost < best_cost - _EPS:
+                best_cost, best_action = cost, client
+        memo[key] = (best_cost, best_action)
+        return memo[key]
+
+    value, _ = best(0, (0,) * n)
+    grants: list[Optional[int]] = []
+    queues = (0,) * n
+    for slot in range(horizon):
+        landed = tuple(
+            backlog + arriving
+            for backlog, arriving in zip(queues, instance.arrivals[slot])
+        )
+        _, action = best(slot, queues)
+        if action is None:
+            queues = landed
+        else:
+            queues = (
+                landed[:action] + (landed[action] - 1,) + landed[action + 1:]
+            )
+        grants.append(action)
+    return DpSolution(value=value, outcome=execute_grants(instance, grants))
+
+
+def brute_force_value(instance: PolicyInstance) -> float:
+    """The optimum by exhaustive forward enumeration (cross-check).
+
+    Depth-first over every feasible grant sequence with
+    branch-and-bound pruning. Independent of :func:`dp_optimal`'s
+    backward recursion, so the differential suite can assert both land
+    on the same value. Exponential — keep instances tiny.
+    """
+    horizon = instance.horizon
+    n = instance.n_clients
+    hold = instance.hold_cost
+    best_total = float("inf")
+
+    def descend(slot: int, queues: tuple[int, ...], acc: float) -> None:
+        nonlocal best_total
+        if acc >= best_total:
+            return
+        if slot == horizon:
+            total = acc + instance.unserved_penalty * sum(queues)
+            if total < best_total:
+                best_total = total
+            return
+        landed = tuple(
+            backlog + arriving
+            for backlog, arriving in zip(queues, instance.arrivals[slot])
+        )
+        descend(slot + 1, landed, acc + hold * sum(landed))
+        for client in range(n):
+            if landed[client] == 0:
+                continue
+            after = landed[:client] + (landed[client] - 1,) + landed[client + 1:]
+            descend(
+                slot + 1,
+                after,
+                acc + instance.tx_cost(slot, client) + hold * sum(after),
+            )
+
+    descend(0, (0,) * n, 0.0)
+    return best_total

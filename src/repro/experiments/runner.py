@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core.bandwidth_model import calibrate
 from repro.core.client import DEFAULT_FALLBACK_AFTER_MISSES, PowerAwareClient
 from repro.core.delay_comp import AdaptiveCompensator, FixedClockCompensator
+from repro.core.policy import POLICY_NAMES, make_policy
 from repro.core.scheduler import DynamicScheduler
 from repro.core.static_schedule import StaticClient, StaticScheduler, build_layout
 from repro.energy.analyzer import EnergyAnalyzer
@@ -23,6 +24,7 @@ from repro.energy.report import ClientReport, ExperimentSummary, summarize
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan
 from repro.net.addr import Endpoint
+from repro.net.channel import ChannelPlan
 from repro.obs import NULL_RECORDER, Recorder
 from repro.units import mib
 from repro.wnic.power import WAVELAN_2_4GHZ, PowerModel
@@ -85,6 +87,16 @@ class ExperimentConfig:
     #: Threaded into the scenario, the scheduler's slot-reclamation
     #: timeout and every client's fallback/clock-error wiring.
     faults: Optional[FaultPlan] = None
+    #: Slot-admission policy ("dynamic" | "channel" | "joint"); only
+    #: meaningful with the dynamic scheduler. "dynamic" reproduces the
+    #: paper byte-for-byte.
+    policy: str = "dynamic"
+    #: Backlog threshold (bytes) for the joint policy's bad-channel arm.
+    policy_threshold_bytes: int = 1
+    #: Max consecutive intervals the channel policy defers a client.
+    policy_max_defer: int = 2
+    #: Per-client channel model plan (see :mod:`repro.net.channel`).
+    channel: Optional[ChannelPlan] = None
     #: False reproduces the paper's postmortem mode: clients receive
     #: even while "asleep", and drops are computed offline (§4.3).
     enforce_sleep_drops: bool = True
@@ -100,6 +112,12 @@ class ExperimentConfig:
             raise ConfigurationError(f"unknown scheduler: {self.scheduler!r}")
         if self.compensator not in ("adaptive", "fixed"):
             raise ConfigurationError(f"unknown compensator: {self.compensator!r}")
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(f"unknown policy: {self.policy!r}")
+        if self.policy != "dynamic" and self.scheduler != "dynamic":
+            raise ConfigurationError(
+                "slot-admission policies require the dynamic scheduler"
+            )
         if not self.clients:
             raise ConfigurationError("experiment needs at least one client")
 
@@ -125,6 +143,13 @@ class ExperimentResult:
     #: Burst slots reclaimed from / restored to silent clients.
     slots_reclaimed: int = 0
     slots_restored: int = 0
+    #: Slot-admission policy that ran ("dynamic" unless configured).
+    policy: str = "dynamic"
+    #: Slots granted / deferred by the admission policy.
+    policy_grants: int = 0
+    policy_defers: int = 0
+    #: Byte-weighted mean time data sat in the proxy's client queues.
+    mean_queue_delay_s: float = 0.0
     #: Deterministic metrics snapshot (None unless obs_mode == "full").
     metrics: Optional[dict] = None
     #: The run's recorder, for exporting events/timelines postmortem.
@@ -186,6 +211,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 "ScenarioConfig disagree"
             )
         scenario_config.faults = config.faults
+    if config.channel is not None:
+        if (
+            scenario_config.channel is not None
+            and scenario_config.channel != config.channel
+        ):
+            raise ConfigurationError(
+                "channel plans given on both ExperimentConfig and "
+                "ScenarioConfig disagree"
+            )
+        scenario_config.channel = config.channel
     plan = scenario_config.faults
     scenario = build_scenario(scenario_config)
     sim = scenario.sim
@@ -200,6 +235,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             reuse_schedules=config.reuse_schedules,
             silence_timeout_s=(
                 plan.silence_timeout_s if plan is not None else None
+            ),
+            policy=make_policy(
+                config.policy,
+                threshold=config.policy_threshold_bytes,
+                max_defer=config.policy_max_defer,
             ),
         )
     else:
@@ -431,6 +471,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         fault_counters=drop_totals,
         slots_reclaimed=getattr(scheduler, "slots_reclaimed", 0),
         slots_restored=getattr(scheduler, "slots_restored", 0),
+        policy=config.policy,
+        policy_grants=getattr(scheduler, "policy_grants", 0),
+        policy_defers=getattr(scheduler, "policy_defers", 0),
+        mean_queue_delay_s=scenario.proxy.mean_queue_delay_s(),
         metrics=metrics,
         obs=obs,
     )

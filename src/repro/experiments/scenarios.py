@@ -18,6 +18,7 @@ from typing import Optional
 from repro.core.proxy import TransparentProxy
 from repro.faults import FaultController, FaultCounters, FaultPlan
 from repro.net.access_point import AccessPoint
+from repro.net.channel import ChannelModel, ChannelPlan
 from repro.net.link import Link
 from repro.net.medium import WirelessMedium
 from repro.errors import ConfigurationError
@@ -62,6 +63,10 @@ class ScenarioConfig:
     tcp_mode: str = "split"  # see TransparentProxy
     #: Optional deterministic fault-injection plan (see repro.faults).
     faults: Optional[FaultPlan] = None
+    #: Optional per-client channel model (see repro.net.channel). Draws
+    #: on exclusive ``channel*`` streams: installing one never perturbs
+    #: fault-plan or backoff replays.
+    channel: Optional[ChannelPlan] = None
     #: Observability mode: "full" (trace + metrics + spans), "trace"
     #: (trace rows only, the pre-obs baseline), or "off" (NullRecorder;
     #: no trace, no metrics — postmortem analysis degrades gracefully).
@@ -97,6 +102,8 @@ class Scenario:
     counters: FaultCounters = None
     #: Installed fault controller, or None when no plan was given.
     faults: Optional[FaultController] = None
+    #: Installed channel model, or None when no plan was given.
+    channel: Optional[ChannelModel] = None
     #: The shared instrumentation recorder (NULL_RECORDER when off).
     obs: Recorder = NULL_RECORDER
 
@@ -221,6 +228,18 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
             trace=trace,
         ).install()
 
+    # -- per-client channel model -------------------------------------------
+    channel_model = None
+    if config.channel is not None:
+        channel_model = ChannelModel(
+            config.channel,
+            streams,
+            sorted(client_ips),
+            obs=recorder,
+        )
+        medium.channel = channel_model
+        proxy.channel = channel_model
+
     return Scenario(
         config=config,
         sim=sim,
@@ -235,5 +254,6 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         lan_hub=hub,
         counters=counters,
         faults=controller,
+        channel=channel_model,
         obs=recorder,
     )

@@ -56,21 +56,31 @@ class IidLoss(Injector):
         return None
 
 
-class GilbertElliottLoss(Injector):
-    """Two-state bursty loss (Gilbert–Elliott channel model).
+class GilbertElliottChain:
+    """The bare two-state Markov chain behind Gilbert–Elliott models.
 
-    The chain transitions once per frame, then the frame is dropped
-    with the loss rate of the state it landed in. Burst lengths are
-    geometric with mean ``1 / p_bad_good``.
+    One :meth:`step` consumes exactly one draw from ``rng`` and maybe
+    flips the state — the reusable state machinery shared by the
+    :class:`GilbertElliottLoss` fault injector (which steps per frame)
+    and the per-client channel model in :mod:`repro.net.channel` (which
+    steps per epoch on its own exclusive stream).
     """
 
-    def __init__(self, spec: GilbertElliottSpec, rng: np.random.Generator) -> None:
+    __slots__ = ("spec", "rng", "bad", "bad_visits")
+
+    def __init__(
+        self,
+        spec: GilbertElliottSpec,
+        rng: np.random.Generator,
+        bad: bool = False,
+    ) -> None:
         self.spec = spec
         self.rng = rng
-        self.bad = False
+        self.bad = bad
         self.bad_visits = 0
 
-    def judge(self, now: float, packet: Packet) -> Optional[Verdict]:
+    def step(self) -> bool:
+        """Advance one transition; returns True when now in bad state."""
         spec = self.spec
         flip = self.rng.random()
         if self.bad:
@@ -79,7 +89,40 @@ class GilbertElliottLoss(Injector):
         elif flip < spec.p_good_bad:
             self.bad = True
             self.bad_visits += 1
-        loss = spec.loss_bad if self.bad else spec.loss_good
+        return self.bad
+
+    @property
+    def loss_rate(self) -> float:
+        """Per-frame loss rate of the current state."""
+        return self.spec.loss_bad if self.bad else self.spec.loss_good
+
+
+class GilbertElliottLoss(Injector):
+    """Two-state bursty loss (Gilbert–Elliott channel model).
+
+    The chain transitions once per frame, then the frame is dropped
+    with the loss rate of the state it landed in. Burst lengths are
+    geometric with mean ``1 / p_bad_good``. Transition and loss draws
+    interleave on the injector's one stream exactly as before the chain
+    was factored out, so existing fault-plan replays are unchanged.
+    """
+
+    def __init__(self, spec: GilbertElliottSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.chain = GilbertElliottChain(spec, rng)
+
+    @property
+    def bad(self) -> bool:
+        return self.chain.bad
+
+    @property
+    def bad_visits(self) -> int:
+        return self.chain.bad_visits
+
+    def judge(self, now: float, packet: Packet) -> Optional[Verdict]:
+        self.chain.step()
+        loss = self.chain.loss_rate
         if loss > 0.0 and self.rng.random() < loss:
             return Verdict(DROP, "burst_loss")
         return None

@@ -68,6 +68,12 @@ class WirelessMedium:
         #: Optional fault-injection pipeline (see :mod:`repro.faults`);
         #: consulted per frame after airtime, before delivery.
         self.faults = None
+        #: Optional per-client channel model (see
+        #: :mod:`repro.net.channel`): a client in the bad state loses
+        #: uplink frames on transmit and downlink frames at its antenna.
+        #: Draws live on exclusive ``channel*`` streams, so installing
+        #: one never perturbs fault-plan or backoff replays.
+        self.channel = None
         self._stations: list[Interface] = []
         self._station_ips: set[str] = set()
         #: Per-proto (frames counter, frame-bytes histogram) handles,
@@ -198,6 +204,17 @@ class WirelessMedium:
                     # Deliver now and transmit a second copy after
                     # the queue drains (a spurious MAC retry).
                     self._queue.append((src_iface, packet))
+        if self.channel is not None and self.channel.tx_blocked(now, packet):
+            # The sender's own channel faded: the frame burned airtime
+            # but arrives nowhere (uplink ACKs, feedback reports).
+            self.counters.incr("channel.tx_loss")
+            self.obs.event(
+                now, "medium.drop.channel_state",
+                src=packet.src.ip, dst=packet.dst.ip,
+                size=packet.wire_size,
+            )
+            self._next_frame()
+            return
         self.frames_sent += 1
         self._deliver(src_iface, packet, start, now)
         self._next_frame()
@@ -243,14 +260,29 @@ class WirelessMedium:
             out_of_range = self.faults is not None and not self.faults.can_hear(
                 end, iface.node.ip
             )
-            if not out_of_range and iface.can_receive(packet):
+            # The receive-side channel roll happens for every addressed
+            # in-range station — even a sleeping one — so the draw
+            # sequence depends only on the frame stream, never on WNIC
+            # state.
+            faded = (
+                not out_of_range
+                and self.channel is not None
+                and self.channel.rx_blocked(end, iface.node.ip)
+            )
+            if not out_of_range and not faded and iface.can_receive(packet):
                 iface.deliver(packet)
             else:
+                if out_of_range:
+                    cause = "churn"
+                    counter = "faults.churn_miss"
+                elif faded:
+                    cause = "channel"
+                    counter = "channel.rx_miss"
+                else:
+                    cause = "sleep"
+                    counter = "medium.sleep_miss"
                 self.frames_missed += 1
-                self.counters.incr(
-                    "faults.churn_miss" if out_of_range
-                    else "medium.sleep_miss"
-                )
+                self.counters.incr(counter)
                 self.obs.event(
                     end, "medium.miss",
                     dst=iface.node.ip, proto=packet.proto,
@@ -262,7 +294,7 @@ class WirelessMedium:
                 self.obs.inc(
                     "medium.misses",
                     dst=iface.node.ip,
-                    cause="churn" if out_of_range else "sleep",
+                    cause=cause,
                 )
         if packet.is_broadcast or dst_is_station:
             return

@@ -25,6 +25,7 @@ _TASKS: dict[str, str] = {
     "psm-baseline": "repro.experiments.baselines:_run_one",
     "dummynet-transfer": "repro.experiments.tables:_dummynet_transfer",
     "replay-early": "repro.sweep.tasks:_replay_early",
+    "policy-model": "repro.sweep.tasks:_policy_model",
 }
 
 
@@ -94,6 +95,57 @@ def sanitize_result(result: Any) -> Any:
     if isinstance(result, ExperimentResult):
         return dataclasses.replace(result, obs=NULL_RECORDER)
     return result
+
+
+def _policy_model(
+    policy: str,
+    seed: int = 0,
+    n_instances: int = 32,
+    n_clients: int = 3,
+    horizon: int = 8,
+    threshold: int = 1,
+    max_defer: int = 2,
+) -> dict:
+    """Average one policy over random discrete (queue, channel) instances.
+
+    ``policy`` is a :data:`~repro.core.policy.POLICY_NAMES` member run
+    online via :func:`~repro.core.policy.rollout`, or ``"optimal"`` for
+    the clairvoyant DP oracle of :func:`~repro.energy.optimal.dp_optimal`
+    — the model-side rows of the Pareto figure. Instances are seeded
+    ``seed .. seed + n_instances - 1``, so the same parameters always
+    average the same instance population.
+    """
+    from repro.core.policy import make_policy, random_instance, rollout
+    from repro.energy.optimal import dp_optimal
+
+    total = energy = delay = 0.0
+    served = arrived = 0
+    for i in range(n_instances):
+        instance = random_instance(
+            seed + i, n_clients=n_clients, horizon=horizon
+        )
+        if policy == "optimal":
+            outcome = dp_optimal(instance).outcome
+        else:
+            outcome = rollout(
+                instance,
+                make_policy(policy, threshold=threshold, max_defer=max_defer),
+            )
+        total += outcome.total_cost
+        energy += outcome.energy_cost
+        delay += outcome.mean_delay_slots
+        served += outcome.served
+        arrived += outcome.arrived
+    n = float(n_instances)
+    return {
+        "policy": policy,
+        "n_instances": n_instances,
+        "mean_total_cost": total / n,
+        "mean_energy_cost": energy / n,
+        "mean_delay_slots": delay / n,
+        "served": served,
+        "arrived": arrived,
+    }
 
 
 def _replay_early(

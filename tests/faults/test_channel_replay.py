@@ -1,0 +1,107 @@
+"""Regression: channel modeling never perturbs fault-plan replays.
+
+The channel model draws exclusively from its reserved ``channel:`` /
+``channel-loss:`` streams (see :mod:`repro.net.channel`), so installing
+it on an existing faults scenario must leave every fault-injector draw
+— and therefore the whole packet-level replay — exactly where it was.
+This pins the fix at full-system scope against the ``dynamic_faults``
+golden configuration: a *lossless* channel model steps its chains all
+run long, yet the faults counters, client reports and the entire
+non-channel event stream stay byte-identical.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.net.channel import ChannelPlan
+from repro.obs import events_jsonl, metrics_json
+from repro.units import ms
+
+from tests.obs.test_goldens import _dynamic_faults_config
+
+#: Aggressively switching but lossless: the chains consume plenty of
+#: transition draws without ever touching a frame, so any perturbation
+#: of the fault replay would be the channel leaking into foreign
+#: streams — exactly the bug the exclusive-stream fix rules out.
+LOSSLESS_CHANNEL = ChannelPlan(
+    p_good_bad=0.4, p_bad_good=0.5,
+    loss_good=0.0, loss_bad=0.0, epoch_s=ms(50),
+)
+
+
+def faults_counters(result):
+    counters = json.loads(metrics_json(result.obs))["counters"]
+    return [
+        entry
+        for entry in counters
+        if entry["name"].startswith("faults.")
+        or entry["labels"].get("reason", "").startswith("faults.")
+    ]
+
+
+def _is_channel_telemetry(line):
+    record = json.loads(line)
+    return record["name"].startswith("channel.") or record.get(
+        "track", ""
+    ).startswith("channel ")
+
+
+def non_channel_events(result):
+    return [
+        line
+        for line in events_jsonl(result.obs).splitlines()
+        if not _is_channel_telemetry(line)
+    ]
+
+
+@pytest.mark.slow
+def test_faults_golden_replay_identical_under_channel_model():
+    base = run_experiment(_dynamic_faults_config())
+    with_channel = run_experiment(
+        dataclasses.replace(
+            _dynamic_faults_config(), channel=LOSSLESS_CHANNEL
+        )
+    )
+    # The channel model really ran (chains stepped, states queried)...
+    assert with_channel.obs is not None
+    channel_events = [
+        line
+        for line in events_jsonl(with_channel.obs).splitlines()
+        if _is_channel_telemetry(line)
+    ]
+    assert channel_events, "lossless channel model never transitioned"
+    # ...and the plan did something worth protecting.
+    base_faults = faults_counters(base)
+    assert base_faults, "golden faults config injected nothing"
+    # The replay itself is untouched: same fault draws, same per-client
+    # outcomes, same event stream modulo the channel's own telemetry.
+    assert faults_counters(with_channel) == base_faults
+    assert with_channel.reports == base.reports
+    assert non_channel_events(with_channel) == non_channel_events(base)
+
+
+def test_fault_injector_draws_isolated_from_channel_streams():
+    """Tier-1 smoke for the same contract at the stream level: the
+    sequence a fault-layer stream yields is independent of how much the
+    channel model has consumed from the same ``RngStreams`` family."""
+    from repro.net.channel import ChannelModel
+    from repro.sim.random import RngStreams
+
+    untouched = RngStreams(seed=9)
+    shared = RngStreams(seed=9)
+    model = ChannelModel(
+        ChannelPlan(p_good_bad=0.4, p_bad_good=0.5, loss_bad=0.9),
+        shared,
+        ("10.0.1.2", "10.0.1.3"),
+    )
+    for i in range(50):
+        model.state_good("10.0.1.2", i * 0.1)
+        model.rx_blocked(i * 0.1, "10.0.1.3")
+    for name in ("faults:loss", "faults:burst", "faults:churn"):
+        assert (
+            shared.get(name).random(8).tolist()
+            == untouched.get(name).random(8).tolist()
+        )

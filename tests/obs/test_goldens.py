@@ -1,6 +1,6 @@
 """Golden-trace regression tests.
 
-Three canonical scenarios are pinned down to SHA-256 digests of their
+Four canonical scenarios are pinned down to SHA-256 digests of their
 canonical metrics JSON and event-stream JSONL. Any change to
 scheduling, the network model, fault injection or the instrumentation
 itself moves the bytes and fails here with a diff against the stored
@@ -20,6 +20,7 @@ import pytest
 
 from repro.experiments.runner import ClientSpec, ExperimentConfig, run_experiment
 from repro.faults import FaultPlan, Window
+from repro.net.channel import ChannelPlan
 from repro.obs import digest, events_jsonl, metrics_json
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
@@ -62,10 +63,29 @@ def _dynamic_faults_config() -> ExperimentConfig:
     )
 
 
+def _dynamic_channel_config() -> ExperimentConfig:
+    """Channel-aware policy over a fading channel: pins the per-client
+    channel-state tracks (``channel.transition`` events, bad-dwell
+    spans) and the scheduler's policy-decision counters."""
+    return ExperimentConfig(
+        clients=[ClientSpec("video", video_kbps=56)] * 2,
+        burst_interval_s=0.1,
+        duration_s=2.5,
+        warmup_s=0.2,
+        start_stagger_s=0.3,
+        seed=3,
+        policy="channel",
+        channel=ChannelPlan(
+            p_good_bad=0.3, p_bad_good=0.4, loss_bad=0.85, epoch_s=0.2
+        ),
+    )
+
+
 SCENARIOS = {
     "static": _static_config,
     "dynamic": _dynamic_config,
     "dynamic_faults": _dynamic_faults_config,
+    "dynamic_channel": _dynamic_channel_config,
 }
 
 

@@ -38,6 +38,36 @@ class TestWarmCacheDrivers:
         assert report.cache_hits == report.total == 15
         assert warm == cold
 
+    def test_warm_pareto_quick_runs_zero_simulations(self, tmp_path):
+        """The policy-family acceptance criterion: a warm-cache
+        ``repro figure pareto --policy all --quick`` performs zero
+        simulations. The driver issues *two* sweeps (sim rows, then
+        model rows), so the assertion must cover every report of the
+        run — ``last_report`` alone only sees the model sweep."""
+        kwargs = dict(seed=0, quick=True)
+        cold_engine = SweepEngine(cache=ResultCache(tmp_path))
+        cold = figures.pareto(engine=cold_engine, **kwargs)
+        # 3 policies simulated + (3 policies + DP optimum) modeled.
+        assert [r.executed for r in cold_engine.reports] == [3, 4]
+
+        warm_engine = SweepEngine(cache=ResultCache(tmp_path))
+        warm = figures.pareto(engine=warm_engine, **kwargs)
+        assert len(warm_engine.reports) == 2
+        for report in warm_engine.reports:
+            assert report.simulation_runs == 0
+            assert report.cache_hits == report.total
+        assert warm == cold
+
+        sim = [row for row in warm if row["source"] == "sim"]
+        model = [row for row in warm if row["source"] == "model"]
+        assert [row["policy"] for row in sim] == ["dynamic", "channel", "joint"]
+        assert [row["policy"] for row in model] == [
+            "dynamic", "channel", "joint", "optimal",
+        ]
+        # The DP optimum anchors the model front from below.
+        costs = {row["policy"]: row["mean_total_cost"] for row in model}
+        assert costs["optimal"] <= min(costs.values()) + 1e-9
+
     def test_dummynet_quick_kwarg_shrinks_the_transfer(self, tmp_path):
         engine = SweepEngine(cache=ResultCache(tmp_path))
         row = drop_effect_dummynet(seed=0, quick=True, engine=engine)
