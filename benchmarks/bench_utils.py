@@ -57,6 +57,32 @@ def append_trajectory(
     return path
 
 
+def load_trajectory(name: str) -> list[dict]:
+    """Read benchmarks/results/BENCH_<name>.json, tolerating absence.
+
+    A missing or unreadable trajectory is a fresh checkout or a
+    never-seeded benchmark, not an error: print why we're skipping the
+    comparison and return an empty history so callers can guard with
+    a simple truthiness check.
+    """
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    try:
+        history = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(
+            f"no trajectory at {path} — skipping cross-run comparison "
+            f"(first run seeds it)"
+        )
+        return []
+    except json.JSONDecodeError as exc:
+        print(
+            f"unreadable trajectory at {path} ({exc}) — skipping "
+            f"cross-run comparison"
+        )
+        return []
+    return history if isinstance(history, list) else []
+
+
 def print_table(title: str, rows: list[dict], columns: list[str]) -> None:
     """Print rows as a fixed-width table (the paper-figure data)."""
     print(f"\n=== {title} ===")

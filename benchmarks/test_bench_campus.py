@@ -1,0 +1,53 @@
+"""Campus extension — cell-count × roam-rate grid (DESIGN.md §15).
+
+Runs the full-size campus grid and persists it for EXPERIMENTS.md.
+The meta entry records the scheduler hot-path note: `build_schedule`
+used to recompute each client's backlog three times per interval and
+`scheduling_backlog_by_kind` scanned the whole deque; both are now
+single-pass/incremental, which is what makes the 1000-client shards in
+the CI smoke affordable (see tools/memory_footprint.py for the bytes
+side of that budget).
+"""
+
+from repro.experiments.figures import campus_grid
+
+from benchmarks.bench_utils import load_trajectory, print_table, save_results
+
+COLUMNS = [
+    "cells", "roam_rate", "avg_saved_pct", "min_saved_pct",
+    "avg_loss_pct", "handoffs", "handoff_bytes",
+]
+
+
+def test_bench_campus(benchmark):
+    rows = benchmark.pedantic(
+        campus_grid, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    history = load_trajectory("campus")
+    save_results(
+        "campus",
+        rows,
+        meta={
+            "perf_note": (
+                "scheduler hot path: build_schedule 3x backlog recompute "
+                "-> 1x; scheduling_backlog_by_kind O(queue) deque scan "
+                "-> O(1) incremental per-kind counters; iter_queues "
+                "re-sort per interval -> cached sorted view"
+            ),
+            "prior_entries": len(history),
+        },
+    )
+    print_table("Campus grid (cells × roam rate)", rows, COLUMNS)
+
+    by_key = {(r["cells"], r["roam_rate"]): r for r in rows}
+    # Sharding without roaming costs nothing: no handoffs, no loss.
+    for cells in (1, 2, 4):
+        still = by_key[(cells, 0.0)]
+        assert still["handoffs"] == 0
+        assert still["avg_loss_pct"] == 0.0
+    # Roaming actually roams, and pays a bounded energy price.
+    for cells in (2, 4):
+        roaming = by_key[(cells, 0.1)]
+        assert roaming["handoffs"] > 0
+        assert roaming["avg_saved_pct"] > 50.0
+        assert roaming["avg_saved_pct"] <= by_key[(cells, 0.0)]["avg_saved_pct"]

@@ -15,13 +15,15 @@ from repro.analysis.findings import Severity
 
 #: Directories whose code runs under simulated time. Wall-clock reads,
 #: blocking I/O, and ambient entropy are forbidden here.
-SIM_SCOPE: tuple[str, ...] = ("sim/", "core/", "net/", "faults/", "obs/")
+SIM_SCOPE: tuple[str, ...] = (
+    "sim/", "core/", "net/", "faults/", "obs/", "campus/",
+)
 
 #: Directories whose iteration order can reach scheduling decisions.
-ORDER_SCOPE: tuple[str, ...] = ("core/", "net/", "faults/")
+ORDER_SCOPE: tuple[str, ...] = ("core/", "net/", "faults/", "campus/")
 
 #: Directories where bare time/size literals must use ``repro.units``.
-UNITS_SCOPE: tuple[str, ...] = ("core/", "net/")
+UNITS_SCOPE: tuple[str, ...] = ("core/", "net/", "campus/")
 
 #: Directories whose public API must be fully type-annotated.
 API_SCOPE: tuple[str, ...] = ("core/", "energy/")
@@ -44,6 +46,11 @@ SWEEP_SCOPE: tuple[str, ...] = (
     "experiments/report_gen.py",
 )
 
+#: Modules allowed to call the shard-migration primitives
+#: (``release_client`` / ``adopt_client`` / ``forget_client``) — the
+#: HandoffCoordinator is the single place cross-shard state may move.
+CAMPUS_HANDOFF_ALLOWED: tuple[str, ...] = ("campus/handoff.py",)
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -60,6 +67,7 @@ class AnalysisConfig:
     units_scope: tuple[str, ...] = UNITS_SCOPE
     api_scope: tuple[str, ...] = API_SCOPE
     sweep_scope: tuple[str, ...] = SWEEP_SCOPE
+    campus_handoff_allowed: tuple[str, ...] = CAMPUS_HANDOFF_ALLOWED
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -79,4 +87,5 @@ EVERYWHERE = AnalysisConfig(
     units_scope=("",),
     api_scope=("",),
     sweep_scope=("",),
+    campus_handoff_allowed=(),
 )

@@ -11,6 +11,8 @@ grouped by invariant family:
 - ``OBS``: observability (telemetry flows through the Recorder facade)
 - ``SWP``: sweep orchestration (artifact drivers fan out through the
   sweep engine, never the raw simulation runner)
+- ``CAM``: campus sharding (cross-shard client state moves only
+  through the HandoffCoordinator)
 
 Suppress a finding in place with ``# repro: noqa[RULE] -- reason``.
 """
@@ -617,3 +619,42 @@ def swp001_sweep_engine_only(ctx: ModuleContext) -> Iterator[RawFinding]:
                     "SweepEngine.run(SweepSpec...) so caching and fan-out "
                     "apply uniformly",
                 )
+
+
+# ---------------------------------------------------------------------------
+# CAM: campus sharding
+# ---------------------------------------------------------------------------
+
+#: The shard-migration primitives; calling any of them outside the
+#: coordinator can split a client across two shards (double slots) or
+#: strand it in none.
+_HANDOFF_PRIMITIVES = frozenset(
+    {"release_client", "adopt_client", "forget_client"}
+)
+
+
+@rule(
+    "CAM001",
+    "cross-shard state moves only through HandoffCoordinator",
+    "release_client/adopt_client/forget_client re-partition a client "
+    "between proxy shards; invoked anywhere but the HandoffCoordinator "
+    "they can leave a client in two shards at once (double-granted "
+    "slots) or in none (stranded backlog). Route the migration through "
+    "HandoffCoordinator.handoff instead.",
+)
+def cam001_handoff_coordinator_only(ctx: ModuleContext) -> Iterator[RawFinding]:
+    if ctx.in_scope(ctx.config.campus_handoff_allowed):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        tail = name.split(".")[-1]
+        if tail in _HANDOFF_PRIMITIVES:
+            yield (
+                node.lineno, node.col_offset,
+                f"{name or tail}() migrates shard state outside the "
+                "HandoffCoordinator; cross-shard moves must go through "
+                "HandoffCoordinator.handoff so the one-shard-per-client "
+                "invariant holds",
+            )

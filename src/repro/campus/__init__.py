@@ -1,0 +1,28 @@
+"""Multi-cell campus topology: roaming clients over sharded proxies.
+
+The paper's testbed is one access point, one proxy, and a handful of
+laptops. This package scales the design out to a campus: N independent
+cells (each with its own medium, AP, and proxy scheduler shard), a
+seeded mobility process roaming clients between cells, and a handoff
+coordinator migrating queue state and schedule membership between
+shards. See DESIGN.md §15.
+"""
+
+from repro.campus.handoff import Cell, HandoffCoordinator
+from repro.campus.mobility import MobilityModel
+from repro.campus.topology import (
+    MOBILITY_STREAM_PREFIX,
+    CampusTopology,
+    HandoffSpec,
+    MobilityPlan,
+)
+
+__all__ = [
+    "MOBILITY_STREAM_PREFIX",
+    "CampusTopology",
+    "Cell",
+    "HandoffCoordinator",
+    "HandoffSpec",
+    "MobilityModel",
+    "MobilityPlan",
+]

@@ -202,7 +202,12 @@ def parse_seeds(text: str) -> list[int]:
 
 
 def parse_clients(text: str):
-    """'video:56,video:512,web,ftp:2097152' -> list of ClientSpec."""
+    """'video:56,video:512,web,ftp:2097152' -> list of ClientSpec.
+
+    A bare integer chunk is shorthand for that many 56 kbps video
+    clients ('1000' == 'video:56' a thousand times) — the campus-scale
+    smoke runs need populations, not rosters.
+    """
     from repro.experiments.runner import ClientSpec
 
     specs = []
@@ -211,7 +216,9 @@ def parse_clients(text: str):
         if not chunk:
             continue
         kind, _, arg = chunk.partition(":")
-        if kind == "video":
+        if kind.isdigit() and not arg:
+            specs.extend([ClientSpec("video", video_kbps=56)] * int(kind))
+        elif kind == "video":
             specs.append(ClientSpec("video", video_kbps=int(arg or 56)))
         elif kind == "web":
             specs.append(ClientSpec("web", web_pages=int(arg or 40)))
@@ -244,16 +251,43 @@ def _print_engine_summary(engine, as_json: bool) -> None:
             print(report.summary(), file=sys.stderr)
 
 
+def build_campus(args):
+    """Assemble a CampusTopology from the ``--cells/--roam-*`` options
+    (or None for the classic single-cell testbed)."""
+    from repro.campus import CampusTopology, HandoffSpec, MobilityPlan
+
+    if args.cells < 1:
+        raise ConfigurationError(f"need at least one cell, got {args.cells}")
+    if args.roam_rate < 0:
+        raise ConfigurationError(f"negative roam rate: {args.roam_rate}")
+    if args.cells == 1 and args.roam_rate == 0:
+        return None
+    return CampusTopology(
+        n_cells=args.cells,
+        mobility=(
+            MobilityPlan(roam_rate=args.roam_rate, epoch_s=args.roam_epoch_s)
+            if args.roam_rate > 0
+            else None
+        ),
+        handoff=HandoffSpec(
+            policy=args.handoff_policy,
+            latency_s=args.handoff_latency_ms / 1000.0,
+        ),
+    )
+
+
 def build_experiment_config(args):
     """Assemble an ExperimentConfig from the shared run/trace options."""
     from repro.experiments.runner import ExperimentConfig
 
+    quick = getattr(args, "quick", False)
     return ExperimentConfig(
         clients=parse_clients(args.clients),
         burst_interval_s=parse_interval(args.interval),
         scheduler=args.scheduler,
         static_tcp_weight=args.tcp_weight,
-        duration_s=args.duration,
+        duration_s=min(args.duration, 6.0) if quick else args.duration,
+        start_stagger_s=0.003 if quick else 1.0,
         seed=args.seed,
         early_s=args.early_ms / 1000.0,
         reuse_schedules=args.reuse,
@@ -266,6 +300,8 @@ def build_experiment_config(args):
             if args.channel
             else None
         ),
+        campus=build_campus(args),
+        obs_mode=args.obs,
     )
 
 
@@ -323,6 +359,12 @@ def cmd_run(args) -> int:
                 f"slots reclaimed {result.slots_reclaimed} "
                 f"restored {result.slots_restored}"
             )
+        if result.cells > 1:
+            print(
+                f"cells {result.cells}  handoffs {result.handoffs}  "
+                f"handoff bytes moved {result.handoff_bytes_transferred} "
+                f"dropped {result.handoff_bytes_dropped}"
+            )
     return 0
 
 
@@ -363,6 +405,7 @@ def cmd_figure(args) -> int:
             "5": figures.figure5,
             "6": figures.figure6,
             "7": figures.figure7,
+            "campus": figures.campus_grid,
         }[args.number]
         rows = driver(seed=args.seed, quick=args.quick, engine=engine)
     print_rows(rows, args.json)
@@ -636,6 +679,34 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--early-ms", type=float, default=6.0)
         command.add_argument("--reuse", action="store_true",
                              help="enable §5 schedule reuse")
+        command.add_argument("--quick", action="store_true",
+                             help="smoke sizing: cap duration at 6s and "
+                                  "collapse the start stagger")
+        command.add_argument(
+            "--obs", choices=("full", "trace", "metrics", "off"),
+            default="full",
+            help="observability mode ('metrics' keeps counters but no "
+                 "per-event rows — the 1k-client smoke mode)",
+        )
+        campus = command.add_argument_group(
+            "campus topology (multi-cell roaming; see repro.campus and "
+            "DESIGN.md §15)"
+        )
+        campus.add_argument("--cells", type=int, default=1,
+                            help="number of campus cells (1 = classic "
+                                 "single-cell testbed)")
+        campus.add_argument("--roam-rate", type=float, default=0.0,
+                            metavar="P",
+                            help="per-client per-epoch roam probability")
+        campus.add_argument("--roam-epoch-s", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="mobility decision grid (default 1.0)")
+        campus.add_argument("--handoff-policy",
+                            choices=("transfer", "drain"),
+                            default="transfer",
+                            help="migrate the backlog or start clean")
+        campus.add_argument("--handoff-latency-ms", type=float, default=20.0,
+                            help="radio re-association gap (default 20ms)")
         policy = command.add_argument_group(
             "slot-admission policy (see repro.core.policy; 'dynamic' "
             "reproduces the paper byte-for-byte)"
@@ -742,7 +813,9 @@ def build_parser() -> argparse.ArgumentParser:
         "figure",
         help="regenerate a paper figure (or the policy 'pareto' extension)",
     )
-    figure.add_argument("number", choices=("4", "5", "6", "7", "pareto"))
+    figure.add_argument(
+        "number", choices=("4", "5", "6", "7", "pareto", "campus")
+    )
     figure.add_argument("--quick", action="store_true")
     figure.add_argument("--seed", type=int, default=1)
     figure.add_argument(

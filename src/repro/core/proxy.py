@@ -24,10 +24,10 @@ ever shows server/client addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Protocol
+from typing import Iterator, Optional, Protocol, Sequence
 
 from repro.core.burster import Burster
-from repro.core.queues import ClientQueue
+from repro.core.queues import ClientQueue, QueueEntry
 from repro.core.schedule import SCHEDULE_PORT, Schedule
 from repro.errors import ConfigurationError
 from repro.net.addr import BROADCAST_IP, Endpoint, FlowKey
@@ -113,7 +113,15 @@ class TransparentProxy(Node):
         self.spoof_table = SpoofTable()
         self.burster = Burster(self, obs=self.obs)
         self._queues: dict[str, ClientQueue] = {}
+        #: Cached ``sorted(self._queues.items())``; invalidated whenever
+        #: a queue is created or released, so the per-interval iteration
+        #: stops re-sorting an unchanged client population.
+        self._sorted_queues: Optional[list[tuple[str, ClientQueue]]] = None
         self._splits: dict[tuple[Endpoint, Endpoint], SplitConnection] = {}
+        #: Per-client view of ``_splits`` so post-burst bookkeeping is
+        #: O(own splits), not O(all splits) — the difference between
+        #: O(1) and O(clients) work per burst slot at 1k+ clients.
+        self._splits_by_client: dict[str, list[SplitConnection]] = {}
         self._client_conns: dict[str, list[TcpConnection]] = {}
         self._schedule_socket = UdpSocket(self, SCHEDULE_PORT)
         self.scheduler: Optional[SchedulerLike] = None  # via attach_scheduler()
@@ -159,6 +167,7 @@ class TransparentProxy(Node):
         if queue is None:
             queue = ClientQueue(client_ip, clock=lambda: self.sim.now)
             self._queues[client_ip] = queue
+            self._sorted_queues = None
         return queue
 
     def channel_state(self, client_ip: str) -> bool:
@@ -172,15 +181,27 @@ class TransparentProxy(Node):
             return True
         return self.channel.state_good(client_ip, self.sim.now)
 
-    def mean_queue_delay_s(self) -> float:
-        """Byte-weighted mean queueing delay across all client queues."""
+    def queue_delay_totals(self) -> tuple[float, int]:
+        """(byte-seconds of queueing, bytes dequeued) across all queues."""
         delay = sum(q.delay_byte_s for q in self._queues.values())
         dequeued = sum(q.dequeued_bytes for q in self._queues.values())
+        return delay, dequeued
+
+    def mean_queue_delay_s(self) -> float:
+        """Byte-weighted mean queueing delay across all client queues."""
+        delay, dequeued = self.queue_delay_totals()
         return delay / dequeued if dequeued else 0.0
 
     def iter_queues(self) -> list[tuple[str, ClientQueue]]:
-        """(ip, queue) pairs in a deterministic order."""
-        return sorted(self._queues.items())
+        """(ip, queue) pairs in a deterministic order.
+
+        The sorted list is cached until the client population changes;
+        callers must treat it as read-only.
+        """
+        queues = self._sorted_queues
+        if queues is None:
+            queues = self._sorted_queues = sorted(self._queues.items())
+        return queues
 
     def scheduling_backlog(self, client_ip: str) -> int:
         """Bytes the schedule must reserve time for: the queue plus any
@@ -200,10 +221,8 @@ class TransparentProxy(Node):
         so TCP bytes cost more channel time than UDP bytes.
         """
         queue = self.queue_for(client_ip)
-        udp_bytes = sum(
-            entry.nbytes for entry in queue._entries if entry.kind == "udp"
-        )
-        tcp_bytes = queue.bytes_pending - udp_bytes
+        udp_bytes = queue.udp_bytes_pending
+        tcp_bytes = queue.tcp_bytes_pending
         for conn in self._client_conns.get(client_ip, ()):
             if conn.state != "CLOSED":
                 tcp_bytes += conn.unsent_bytes + conn.bytes_in_flight
@@ -342,6 +361,7 @@ class TransparentProxy(Node):
             server_side=server_side,
         )
         self._splits[key] = split
+        self._splits_by_client.setdefault(client_ep.ip, []).append(split)
         self.queue_for(client_ep.ip)  # ensure the client is schedulable
         self._client_conns.setdefault(client_ep.ip, []).append(client_side)
         self.spoof_table.add_rule(
@@ -413,8 +433,8 @@ class TransparentProxy(Node):
 
     def finish_drained_splits(self, client_ip: str) -> None:
         """Called after each burst: progress half-closed splits."""
-        for split in list(self._splits.values()):
-            if split.client_ep.ip == client_ip and split.server_closed:
+        for split in list(self._splits_by_client.get(client_ip, ())):
+            if split.server_closed:
                 self._maybe_finish(split)
 
     def _teardown_if_done(self, split: SplitConnection) -> None:
@@ -425,6 +445,9 @@ class TransparentProxy(Node):
             and key in self._splits
         ):
             del self._splits[key]
+            client_splits = self._splits_by_client.get(split.client_ep.ip, [])
+            if split in client_splits:
+                client_splits.remove(split)
             conns = self._client_conns.get(split.client_ep.ip, [])
             if split.client_side in conns:
                 conns.remove(split.client_side)
@@ -435,3 +458,71 @@ class TransparentProxy(Node):
             self.spoof_table.remove_flow(
                 FlowKey("tcp", split.server_ep, split.client_ep)
             )
+
+    # -- shard migration (campus handoffs) ---------------------------------------
+
+    def release_client(self, client_ip: str) -> tuple[list[QueueEntry], int]:
+        """Strip every piece of per-client state for a shard handoff.
+
+        Reserved for :class:`repro.campus.handoff.HandoffCoordinator`
+        (enforced by analysis rule CAM001): cross-shard state must move
+        through the coordinator so the shard-membership invariant stays
+        checkable in one place.
+
+        TCP splits do not survive a handoff — both spoofed connections
+        are aborted and their buffered credits counted as dropped — so
+        the return value is ``(surviving UDP entries in FIFO order,
+        TCP bytes dropped)``.
+        """
+        self.client_ips.discard(client_ip)
+        self.remove_route(client_ip)
+        self.last_uplink.pop(client_ip, None)
+        queue = self._queues.pop(client_ip, None)
+        self._sorted_queues = None
+        tcp_dropped = 0
+        for split in self._splits_by_client.pop(client_ip, []):
+            # Detach the teardown callbacks first: aborting one side
+            # must not re-enter the normal close plumbing (which would
+            # resurrect the queue we just popped).
+            split.client_side.on_close = None
+            split.server_side.on_close = None
+            split.server_side.on_established = None
+            if queue is not None:
+                tcp_dropped += queue.drop_connection(split.client_side)
+            tcp_dropped += (
+                split.client_side.unsent_bytes
+                + split.client_side.bytes_in_flight
+            )
+            split.client_side.abort()
+            split.server_side.abort()
+            self.burster.forget(split.client_side)
+            self._splits.pop((split.client_ep, split.server_ep), None)
+            self.spoof_table.remove_flow(
+                FlowKey("tcp", split.client_ep, split.server_ep)
+            )
+            self.spoof_table.remove_flow(
+                FlowKey("tcp", split.server_ep, split.client_ep)
+            )
+        self._client_conns.pop(client_ip, None)
+        if queue is None:
+            return [], tcp_dropped
+        entries = []
+        for entry in queue._entries:
+            if entry.kind == "udp":
+                entries.append(entry)
+            else:
+                tcp_dropped += entry.nbytes
+        return entries, tcp_dropped
+
+    def adopt_client(
+        self, client_ip: str, entries: Sequence[QueueEntry] = ()
+    ) -> None:
+        """Adopt a roamed-in client and its migrated queue entries.
+
+        Reserved for the handoff coordinator (analysis rule CAM001).
+        """
+        self.client_ips.add(client_ip)
+        self.add_route(client_ip, self.air)
+        queue = self.queue_for(client_ip)
+        for entry in entries:
+            queue.absorb(entry)

@@ -71,6 +71,11 @@ class ClientQueue:
         self.total_enqueued_bytes = 0
         self.has_udp = False
         self.has_tcp = False
+        #: Per-kind slices of ``bytes_pending``, maintained
+        #: incrementally so the scheduler's per-interval backlog split
+        #: never scans the deque (O(clients), not O(entries)).
+        self.udp_bytes_pending = 0
+        self.tcp_bytes_pending = 0
         #: Byte-weighted queueing delay accumulated on dequeue.
         self.delay_byte_s = 0.0
         #: Bytes that have left through :meth:`pop_up_to`.
@@ -108,6 +113,7 @@ class ClientQueue:
                 enqueued_at=self._now(),
             )
         )
+        self.udp_bytes_pending += packet.payload_size
         self.has_udp = True
 
     def push_tcp(self, connection: "TcpConnection", nbytes: int) -> None:
@@ -119,6 +125,7 @@ class ClientQueue:
         if nbytes <= 0:
             return
         self.has_tcp = True
+        self.tcp_bytes_pending += nbytes
         if (
             self._entries
             and self._entries[-1].kind == "tcp"
@@ -186,6 +193,7 @@ class ClientQueue:
                 taken.append(head)
                 remaining -= head.nbytes
                 self.bytes_pending -= head.nbytes
+                self.udp_bytes_pending -= head.nbytes
                 self._account_dequeue(head.nbytes, head.enqueued_at, now)
             else:
                 chunk = min(head.nbytes, remaining)
@@ -202,6 +210,7 @@ class ClientQueue:
                     )
                 remaining -= chunk
                 self.bytes_pending -= chunk
+                self.tcp_bytes_pending -= chunk
                 self._account_dequeue(chunk, head.enqueued_at, now)
         return taken
 
@@ -221,7 +230,27 @@ class ClientQueue:
         """
         self._entries.appendleft(entry)
         self.bytes_pending += entry.nbytes
+        if entry.kind == "udp":
+            self.udp_bytes_pending += entry.nbytes
+        else:
+            self.tcp_bytes_pending += entry.nbytes
         self.peak_bytes = max(self.peak_bytes, self.bytes_pending)
+
+    def absorb(self, entry: QueueEntry) -> None:
+        """Adopt an entry migrated from another shard's queue (handoff).
+
+        The entry keeps its original ``enqueued_at`` stamp, so queueing
+        delay accrued in the old cell still counts when the new cell
+        finally drains it.
+        """
+        self._entries.append(entry)
+        self._account(entry.nbytes)
+        if entry.kind == "udp":
+            self.udp_bytes_pending += entry.nbytes
+            self.has_udp = True
+        else:
+            self.tcp_bytes_pending += entry.nbytes
+            self.has_tcp = True
 
     def bytes_pending_for(self, connection: "TcpConnection") -> int:
         """Buffered credit bytes still queued for ``connection``."""
@@ -242,4 +271,5 @@ class ClientQueue:
                 kept.append(entry)
         self._entries = kept
         self.bytes_pending -= dropped
+        self.tcp_bytes_pending -= dropped
         return dropped

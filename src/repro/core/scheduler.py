@@ -163,19 +163,22 @@ class DynamicScheduler:
         """Snapshot the queues and construct the schedule for one interval."""
         self._update_silenced()
         obs = self.proxy.obs
+        # One backlog computation per client per interval: the observe
+        # stream and the pending filter share it (this loop used to
+        # compute each client's backlog three times, which at 1k+
+        # clients dominated schedule construction).
+        pending = []
         for ip, _queue in self.proxy.iter_queues():
+            udp_bytes, tcp_bytes = self.proxy.scheduling_backlog_by_kind(ip)
+            backlog = udp_bytes + tcp_bytes
             obs.observe(
                 "scheduler.queue_bytes",
-                self.proxy.scheduling_backlog(ip),
+                backlog,
                 buckets=BYTES_BUCKETS,
                 client=ip,
             )
-        pending = [
-            (ip, *self.proxy.scheduling_backlog_by_kind(ip))
-            for ip, _queue in self.proxy.iter_queues()
-            if self.proxy.scheduling_backlog(ip) > 0
-            and ip not in self._silenced
-        ]
+            if backlog > 0 and ip not in self._silenced:
+                pending.append((ip, udp_bytes, tcp_bytes))
         pending = self._admit(pending)
         # Rotate the burst order every interval so no client always goes
         # first (the paper's example schedules reorder clients freely).
@@ -198,6 +201,17 @@ class DynamicScheduler:
             next_srp=srp + interval,
             slots=tuple(slots),
         )
+
+    def forget_client(self, client_ip: str) -> None:
+        """Drop per-client scheduling state after a shard handoff.
+
+        Reserved for :class:`repro.campus.handoff.HandoffCoordinator`
+        (analysis rule CAM001). The cached reuse layout is invalidated
+        so a repeated schedule can never re-grant the departed slot.
+        """
+        self._silenced.discard(client_ip)
+        self._deferred.pop(client_ip, None)
+        self._last_layout = None
 
     def _admit(
         self, pending: list[tuple[str, int, int]]
@@ -386,6 +400,11 @@ class DynamicScheduler:
         for slot in schedule.slots:
             if slot.rendezvous > sim.now:
                 yield sim.timeout(slot.rendezvous - sim.now)
+            if slot.client_ip not in self.proxy.client_ips:
+                # The client roamed to another shard after this schedule
+                # was built: release the slot instead of bursting into
+                # the cell it just left.
+                continue
             obs.observe(
                 "scheduler.slot_lateness_s",
                 max(0.0, sim.now - slot.rendezvous),

@@ -351,3 +351,66 @@ def pareto(
             }
         )
     return rows
+
+
+#: Campus grid axes: cell counts × per-epoch roam probabilities.
+CAMPUS_CELLS = (1, 2, 4)
+CAMPUS_ROAM_RATES = (0.0, 0.02, 0.1)
+
+
+def campus_grid(
+    seed: int = 0, quick: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> list[dict]:
+    """Campus extension: energy saved × handoff count over a cell-count
+    × roam-rate grid (sharded proxies, roaming video clients)."""
+    from repro.campus import CampusTopology, MobilityPlan
+
+    n_clients = 6 if quick else 16
+    configs: list[ExperimentConfig] = []
+    labels: list[dict] = []
+    for n_cells in CAMPUS_CELLS:
+        for roam_rate in CAMPUS_ROAM_RATES:
+            if n_cells == 1 and roam_rate > 0:
+                continue  # nowhere to roam
+            campus = None
+            if n_cells > 1:
+                campus = CampusTopology(
+                    n_cells=n_cells,
+                    mobility=(
+                        MobilityPlan(roam_rate=roam_rate)
+                        if roam_rate > 0
+                        else None
+                    ),
+                )
+            configs.append(
+                ExperimentConfig(
+                    clients=[ClientSpec("video", video_kbps=56)] * n_clients,
+                    burst_interval_s=0.5,
+                    duration_s=_duration(quick),
+                    start_stagger_s=0.25,
+                    seed=seed,
+                    campus=campus,
+                )
+            )
+            labels.append({"cells": n_cells, "roam_rate": roam_rate})
+    outcome = _engine(engine).run(
+        SweepSpec.experiments("campus", configs, labels)
+    )
+    rows = []
+    for label, result in zip(labels, outcome.results):
+        summary = result.video_summary
+        rows.append(
+            {
+                "figure": "campus",
+                "cells": label["cells"],
+                "roam_rate": label["roam_rate"],
+                "avg_saved_pct": summary.avg_saved_pct,
+                "min_saved_pct": summary.min_saved_pct,
+                "avg_loss_pct": summary.avg_loss_pct,
+                "handoffs": result.handoffs,
+                "handoff_bytes": result.handoff_bytes_transferred
+                + result.handoff_bytes_dropped,
+            }
+        )
+    return rows

@@ -26,6 +26,7 @@ RESULT_DRIVERS: dict[str, str] = {
     "figure6": "repro.experiments.figures:figure6",
     "figure7": "repro.experiments.figures:figure7",
     "pareto": "repro.experiments.figures:pareto",
+    "campus": "repro.experiments.figures:campus_grid",
     "tcp_only": "repro.experiments.tables:tcp_only",
     "optimal_comparison": "repro.experiments.tables:optimal_comparison",
     "static_vs_dynamic": "repro.experiments.tables:static_vs_dynamic",
@@ -311,6 +312,40 @@ def generate_report(results_dir: pathlib.Path) -> str:
                 ),
                 "",
             ]
+
+    campus = _load(results_dir, "campus")
+    if campus:
+        # Roam rates like 0.02 must not round away to 0.0 in the table.
+        campus = [
+            dict(row, roam_rate=f"{row['roam_rate']:g}") for row in campus
+        ]
+        sections += [
+            "## Extension — multi-AP campus with roaming clients",
+            "",
+            "Beyond the paper: N independent cells (each its own medium, "
+            "AP, and proxy scheduler shard), clients roaming between "
+            "them on a seeded epoch grid, and a handoff coordinator "
+            "migrating queue state and schedule membership between "
+            "shards (DESIGN.md §15). Energy saved × handoff count over "
+            "the cell-count × roam-rate grid:",
+            "",
+            _table(
+                campus,
+                ["cells", "roam_rate", "avg_saved_pct", "min_saved_pct",
+                 "avg_loss_pct", "handoffs", "handoff_bytes"],
+            ),
+            "",
+            "Sharding alone (roam 0.0) is free — per-cell schedules see "
+            "fewer contenders, so savings tick *up* with cell count "
+            "while staying loss-free, and a 1-cell campus is "
+            "byte-identical to the classic testbed (pinned by the "
+            "differential suite under `tests/campus/`). Roaming buys "
+            "mobility at a bounded energy cost: each handoff spends a "
+            "radio gap plus queue migration, so savings fall and a "
+            "high roam rate leaks some loss, but the transfer policy "
+            "keeps the backlog (handoff_bytes) instead of dropping it.",
+            "",
+        ]
 
     netfilter = _load(results_dir, "drop_effect_netfilter")
     dummynet = _load(results_dir, "drop_effect_dummynet")

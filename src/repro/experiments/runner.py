@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.campus import CampusTopology
 from repro.core.bandwidth_model import calibrate
 from repro.core.client import DEFAULT_FALLBACK_AFTER_MISSES, PowerAwareClient
 from repro.core.delay_comp import AdaptiveCompensator, FixedClockCompensator
@@ -97,12 +98,16 @@ class ExperimentConfig:
     policy_max_defer: int = 2
     #: Per-client channel model plan (see :mod:`repro.net.channel`).
     channel: Optional[ChannelPlan] = None
+    #: Multi-cell campus topology (see :mod:`repro.campus`). None (or a
+    #: trivial topology) reproduces the single-cell testbed exactly.
+    campus: Optional[CampusTopology] = None
     #: False reproduces the paper's postmortem mode: clients receive
     #: even while "asleep", and drops are computed offline (§4.3).
     enforce_sleep_drops: bool = True
     #: False leaves clients naive (always awake) — baselines/ablations.
     power_aware_clients: bool = True
-    #: Observability mode: "full", "trace" (rows only), or "off"
+    #: Observability mode: "full", "trace" (rows only), "metrics"
+    #: (counters only — the 1k-client smoke mode), or "off"
     #: (NullRecorder). Only consulted when ``scenario`` is None;
     #: an explicit ScenarioConfig carries its own obs_mode.
     obs_mode: str = "full"
@@ -120,6 +125,14 @@ class ExperimentConfig:
             )
         if not self.clients:
             raise ConfigurationError("experiment needs at least one client")
+        if (
+            self.campus is not None
+            and self.campus.n_cells > 1
+            and self.scheduler != "dynamic"
+        ):
+            raise ConfigurationError(
+                "multi-cell campus scheduling requires the dynamic scheduler"
+            )
 
 
 @dataclass
@@ -150,6 +163,12 @@ class ExperimentResult:
     policy_defers: int = 0
     #: Byte-weighted mean time data sat in the proxy's client queues.
     mean_queue_delay_s: float = 0.0
+    #: Campus shape and handoff accounting (cells == 1 outside campus
+    #: runs; the byte counters follow the configured handoff policy).
+    cells: int = 1
+    handoffs: int = 0
+    handoff_bytes_transferred: int = 0
+    handoff_bytes_dropped: int = 0
     #: Deterministic metrics snapshot (None unless obs_mode == "full").
     metrics: Optional[dict] = None
     #: The run's recorder, for exporting events/timelines postmortem.
@@ -221,28 +240,49 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 "ScenarioConfig disagree"
             )
         scenario_config.channel = config.channel
+    if config.campus is not None:
+        if (
+            scenario_config.campus is not None
+            and scenario_config.campus != config.campus
+        ):
+            raise ConfigurationError(
+                "campus topologies given on both ExperimentConfig and "
+                "ScenarioConfig disagree"
+            )
+        scenario_config.campus = config.campus
     plan = scenario_config.faults
     scenario = build_scenario(scenario_config)
     sim = scenario.sim
     cost_model = calibrate(scenario.medium)
 
     # -- scheduling policy ---------------------------------------------------
+    # One scheduler per proxy shard; single-cell runs see exactly the
+    # legacy wiring (one cell, one scheduler).
     if config.scheduler == "dynamic":
-        scheduler = DynamicScheduler(
-            scenario.proxy,
-            cost_model,
-            interval_s=config.burst_interval_s,
-            reuse_schedules=config.reuse_schedules,
-            silence_timeout_s=(
-                plan.silence_timeout_s if plan is not None else None
-            ),
-            policy=make_policy(
-                config.policy,
-                threshold=config.policy_threshold_bytes,
-                max_defer=config.policy_max_defer,
-            ),
-        )
+        schedulers = []
+        for cell in scenario.cells:
+            sched = DynamicScheduler(
+                cell.proxy,
+                cost_model,
+                interval_s=config.burst_interval_s,
+                reuse_schedules=config.reuse_schedules,
+                silence_timeout_s=(
+                    plan.silence_timeout_s if plan is not None else None
+                ),
+                policy=make_policy(
+                    config.policy,
+                    threshold=config.policy_threshold_bytes,
+                    max_defer=config.policy_max_defer,
+                ),
+            )
+            cell.scheduler = sched
+            schedulers.append(sched)
+        scheduler = schedulers[0]
     else:
+        if len(scenario.cells) > 1:
+            raise ConfigurationError(
+                "multi-cell campus scheduling requires the dynamic scheduler"
+            )
         if config.burst_interval_s is None:
             raise ConfigurationError("static scheduling needs a fixed interval")
         udp_ips = [
@@ -262,8 +302,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             tcp_clients=tcp_ips,
         )
         scheduler = StaticScheduler(scenario.proxy, cost_model, layout)
-    scenario.proxy.attach_scheduler(scheduler)
-    scenario.proxy.start()
+        schedulers = [scheduler]
+    for cell, sched in zip(scenario.cells, schedulers):
+        cell.proxy.attach_scheduler(sched)
+        cell.proxy.start()
+    if scenario.mobility is not None:
+        scenario.mobility.start()
 
     # -- client daemons -----------------------------------------------------
     for handle, spec in zip(scenario.clients, config.clients):
@@ -355,11 +399,33 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     sim.run(until=horizon)
 
     # -- analyze -------------------------------------------------------------------
+    if len(scenario.cells) > 1:
+        # One monitor per cell: merge the captures into a single
+        # campus-wide timeline (ties broken by cell index, then by
+        # capture order within the cell), and hand the analyzer the
+        # roaming timeline so broadcast receive energy is only charged
+        # to clients resident in the frame's cell.
+        keyed = [
+            ((frame.end, cell.index, position), frame)
+            for cell in scenario.cells
+            for position, frame in enumerate(cell.monitor.frames)
+        ]
+        keyed.sort(key=lambda item: item[0])
+        frames = tuple(frame for _, frame in keyed)
+        residency = (
+            scenario.mobility.residency()
+            if scenario.mobility is not None
+            else None
+        )
+    else:
+        frames = scenario.monitor.frames
+        residency = None
     analyzer = EnergyAnalyzer(
-        scenario.monitor.frames,
+        frames,
         config.power,
         duration_s=sim.now,
         trace=scenario.trace,
+        residency=residency,
     )
     effective_rate = cost_model.effective_rate_bps(mss=700)
     reports: list[ClientReport] = []
@@ -455,26 +521,66 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         if obs.metrics is not None and getattr(obs, "record_metrics", False)
         else None
     )
+    delay_byte_s = 0.0
+    dequeued_bytes = 0
+    for cell in scenario.cells:
+        cell_delay, cell_dequeued = cell.proxy.queue_delay_totals()
+        delay_byte_s += cell_delay
+        dequeued_bytes += cell_dequeued
     return ExperimentResult(
         config=config,
         reports=reports,
         summary=summarize(reports, drops=drop_totals),
         video_summary=summarize(video_reports),
         tcp_summary=summarize(tcp_reports),
-        peak_proxy_buffer_bytes=scenario.proxy.peak_buffered_bytes,
-        schedules_sent=getattr(scheduler, "schedules_sent", 0),
-        schedules_reused=getattr(scheduler, "schedules_reused", 0),
-        medium_frames=scenario.medium.frames_sent,
-        medium_misses=scenario.medium.frames_missed,
+        peak_proxy_buffer_bytes=sum(
+            cell.proxy.peak_buffered_bytes for cell in scenario.cells
+        ),
+        schedules_sent=sum(
+            getattr(s, "schedules_sent", 0) for s in schedulers
+        ),
+        schedules_reused=sum(
+            getattr(s, "schedules_reused", 0) for s in schedulers
+        ),
+        medium_frames=sum(
+            cell.medium.frames_sent for cell in scenario.cells
+        ),
+        medium_misses=sum(
+            cell.medium.frames_missed for cell in scenario.cells
+        ),
         downshifts=downshifts,
         duration_s=sim.now,
         fault_counters=drop_totals,
-        slots_reclaimed=getattr(scheduler, "slots_reclaimed", 0),
-        slots_restored=getattr(scheduler, "slots_restored", 0),
+        slots_reclaimed=sum(
+            getattr(s, "slots_reclaimed", 0) for s in schedulers
+        ),
+        slots_restored=sum(
+            getattr(s, "slots_restored", 0) for s in schedulers
+        ),
         policy=config.policy,
-        policy_grants=getattr(scheduler, "policy_grants", 0),
-        policy_defers=getattr(scheduler, "policy_defers", 0),
-        mean_queue_delay_s=scenario.proxy.mean_queue_delay_s(),
+        policy_grants=sum(
+            getattr(s, "policy_grants", 0) for s in schedulers
+        ),
+        policy_defers=sum(
+            getattr(s, "policy_defers", 0) for s in schedulers
+        ),
+        mean_queue_delay_s=(
+            delay_byte_s / dequeued_bytes if dequeued_bytes else 0.0
+        ),
+        cells=len(scenario.cells),
+        handoffs=(
+            scenario.handoff.handoffs if scenario.handoff is not None else 0
+        ),
+        handoff_bytes_transferred=(
+            scenario.handoff.bytes_transferred
+            if scenario.handoff is not None
+            else 0
+        ),
+        handoff_bytes_dropped=(
+            scenario.handoff.bytes_dropped
+            if scenario.handoff is not None
+            else 0
+        ),
         metrics=metrics,
         obs=obs,
     )

@@ -15,6 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.campus import (
+    CampusTopology,
+    Cell,
+    HandoffCoordinator,
+    MobilityModel,
+)
 from repro.core.proxy import TransparentProxy
 from repro.faults import FaultController, FaultCounters, FaultPlan
 from repro.net.access_point import AccessPoint
@@ -68,9 +74,15 @@ class ScenarioConfig:
     #: fault-plan or backoff replays.
     channel: Optional[ChannelPlan] = None
     #: Observability mode: "full" (trace + metrics + spans), "trace"
-    #: (trace rows only, the pre-obs baseline), or "off" (NullRecorder;
-    #: no trace, no metrics — postmortem analysis degrades gracefully).
+    #: (trace rows only, the pre-obs baseline), "metrics" (metrics only
+    #: — no per-event trace rows, the 1k-client smoke mode), or "off"
+    #: (NullRecorder; no trace, no metrics — postmortem analysis
+    #: degrades gracefully).
     obs_mode: str = "full"
+    #: Optional multi-cell campus layout (see repro.campus). None — or
+    #: a trivial topology — builds the legacy single-AP testbed
+    #: byte-identically.
+    campus: Optional[CampusTopology] = None
 
 
 @dataclass
@@ -106,6 +118,15 @@ class Scenario:
     channel: Optional[ChannelModel] = None
     #: The shared instrumentation recorder (NULL_RECORDER when off).
     obs: Recorder = NULL_RECORDER
+    #: The campus layout the scenario was built under (None = legacy).
+    campus: Optional[CampusTopology] = None
+    #: One entry per cell; ``cells[0]`` aliases the legacy
+    #: medium/ap/monitor/proxy fields above.
+    cells: list[Cell] = field(default_factory=list)
+    #: Roaming state machine (None outside multi-cell runs).
+    mobility: Optional[MobilityModel] = None
+    #: Shard migration coordinator (None outside multi-cell runs).
+    handoff: Optional[HandoffCoordinator] = None
 
     @property
     def video_server(self) -> Node:
@@ -121,8 +142,22 @@ class Scenario:
 
 
 def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
-    """Assemble the testbed of §4.1 from a configuration."""
+    """Assemble the testbed of §4.1 from a configuration.
+
+    With a non-trivial ``config.campus`` the build replicates the cell
+    (medium + AP + monitor + proxy shard) ``n_cells`` times behind one
+    server LAN hub and partitions the clients round-robin across cells.
+    Cell 0 keeps the legacy names, addresses and RNG streams, so a
+    1-cell campus is byte-identical to the pre-campus testbed.
+    """
     config = config or ScenarioConfig()
+    campus = config.campus
+    n_cells = 1 if campus is None else campus.n_cells
+    if n_cells > config.n_clients:
+        raise ConfigurationError(
+            f"campus with {n_cells} cells needs at least {n_cells} "
+            f"clients: {config.n_clients}"
+        )
     reset_packet_ids()
     sim = Simulator()
     streams = RngStreams(seed=config.seed)
@@ -132,6 +167,10 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         recorder = SimRecorder(
             trace=TraceRecorder(), record_metrics=False, record_spans=False
         )
+    elif config.obs_mode == "metrics":
+        recorder = SimRecorder(
+            trace=TraceRecorder(), record_events=False, record_spans=False
+        )
     elif config.obs_mode == "off":
         recorder = NULL_RECORDER
     else:
@@ -139,56 +178,88 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     trace = recorder.trace
     counters = FaultCounters()
 
-    client_ips = {client_ip(i) for i in range(config.n_clients)}
+    #: Per-cell initial client partition (round-robin by index).
+    cell_clients: list[set[str]] = [
+        {client_ip(i) for i in range(config.n_clients) if i % n_cells == k}
+        for k in range(n_cells)
+    ]
 
-    # -- wireless cell -----------------------------------------------------
-    loss_rng = streams.get("medium-loss")
-    drop = None
-    if config.medium_loss_rate > 0:
-        rate = config.medium_loss_rate
+    # -- wireless cells -----------------------------------------------------
+    # Cell 0 uses the legacy stream names, node names and addresses;
+    # extra cells suffix the streams with "@c{k}" and take addresses
+    # from the 10.0.20{k} blocks.
+    cells: list[Cell] = []
+    for k in range(n_cells):
+        suffix = "" if k == 0 else f"@c{k}"
+        label = f"c{k}" if n_cells > 1 else ""
+        loss_rng = streams.get(f"medium-loss{suffix}")
+        drop = None
+        if config.medium_loss_rate > 0:
+            rate = config.medium_loss_rate
 
-        def drop(packet, _rng=loss_rng, _rate=rate):
-            return bool(_rng.random() < _rate)
+            def drop(packet, _rng=loss_rng, _rate=rate):
+                return bool(_rng.random() < _rate)
 
-    medium = WirelessMedium(
-        sim,
-        rate_bps=config.medium_rate_bps,
-        frame_overhead_s=config.medium_frame_overhead_s,
-        max_backoff_s=config.medium_backoff_s,
-        rng=streams.get("medium-backoff"),
-        obs=recorder,
-        drop=drop,
-        counters=counters,
-    )
-    ap = AccessPoint(
-        sim, "ap", AP_IP,
-        rng=streams.get("ap-jitter"),
-        obs=recorder,
-        jitter_mean_s=config.ap_jitter_mean_s,
-        spike_prob=config.ap_spike_prob,
-        spike_max_s=config.ap_spike_max_s,
-    )
-    medium.attach(ap.wireless, gateway=True)
+        medium = WirelessMedium(
+            sim,
+            rate_bps=config.medium_rate_bps,
+            frame_overhead_s=config.medium_frame_overhead_s,
+            max_backoff_s=config.medium_backoff_s,
+            rng=streams.get(f"medium-backoff{suffix}"),
+            obs=recorder,
+            drop=drop,
+            counters=counters,
+        )
+        if label:
+            medium.set_cell(label)
+        ap = AccessPoint(
+            sim,
+            "ap" if k == 0 else f"ap{k}",
+            AP_IP if k == 0 else f"10.0.{200 + k}.254",
+            rng=streams.get(f"ap-jitter{suffix}"),
+            obs=recorder,
+            jitter_mean_s=config.ap_jitter_mean_s,
+            spike_prob=config.ap_spike_prob,
+            spike_max_s=config.ap_spike_max_s,
+        )
+        medium.attach(ap.wireless, gateway=True)
 
-    monitor = MonitoringStation(sim)
-    monitor.attach_to(medium)
+        monitor = MonitoringStation(
+            sim, name="monitor" if k == 0 else f"monitor{k}"
+        )
+        monitor.attach_to(medium)
 
-    # -- proxy and wired segments --------------------------------------------
-    proxy = TransparentProxy(
-        sim, "proxy", PROXY_IP, client_ips, obs=recorder,
-        tcp_mode=config.tcp_mode,
-    )
-    Link(
-        sim, config.wired_rate_bps, config.wired_latency_s, counters=counters
-    ).attach(proxy.air, ap.wired)
+        proxy = TransparentProxy(
+            sim,
+            "proxy" if k == 0 else f"proxy{k}",
+            PROXY_IP if k == 0 else f"10.0.{200 + k}.1",
+            cell_clients[k],
+            obs=recorder,
+            tcp_mode=config.tcp_mode,
+        )
+        Link(
+            sim, config.wired_rate_bps, config.wired_latency_s,
+            counters=counters,
+        ).attach(proxy.air, ap.wired)
+        cells.append(
+            Cell(
+                index=k, label=label, medium=medium, ap=ap,
+                monitor=monitor, proxy=proxy,
+            )
+        )
 
+    # -- server LAN (shared by every cell) -----------------------------------
     hub = Node(sim, "lan-hub", "10.0.2.254", obs=recorder)
     hub.forwarding = True
-    hub_proxy_iface = hub.add_interface("uplink")
-    Link(
-        sim, config.wired_rate_bps, config.wired_latency_s, counters=counters
-    ).attach(proxy.lan, hub_proxy_iface)
-    hub.set_default_route(hub_proxy_iface)
+    uplinks = []
+    for k, cell in enumerate(cells):
+        uplink = hub.add_interface("uplink" if k == 0 else f"uplink{k}")
+        Link(
+            sim, config.wired_rate_bps, config.wired_latency_s,
+            counters=counters,
+        ).attach(cell.proxy.lan, uplink)
+        uplinks.append(uplink)
+    hub.set_default_route(uplinks[0])
 
     servers: dict[str, Node] = {}
     for server_addr in config.servers:
@@ -203,57 +274,98 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         hub.add_route(server_addr, hub_iface)
         servers[server_addr] = server
 
-    proxy.wire_routes(set(config.servers))
-    proxy.set_default_route(proxy.lan)
+    for cell in cells:
+        cell.proxy.wire_routes(set(config.servers))
+        cell.proxy.set_default_route(cell.proxy.lan)
 
     # -- clients ------------------------------------------------------------
     clients: list[ClientHandle] = []
+    client_ifaces: dict[str, "object"] = {}
     for index in range(config.n_clients):
         ip = client_ip(index)
         node = Node(sim, f"client-{index}", ip, obs=recorder)
         iface = node.add_interface("wl0")
-        medium.attach(iface)
+        cells[index % n_cells].medium.attach(iface)
         node.set_default_route(iface)
         wnic = Wnic(sim, node.name, obs=recorder)
         clients.append(ClientHandle(index=index, node=node, wnic=wnic))
+        client_ifaces[ip] = iface
+        if n_cells > 1:
+            hub.add_route(ip, uplinks[index % n_cells])
 
     # -- fault injection ----------------------------------------------------
+    # The controller's streams are cell 0's (legacy names); the other
+    # cells share the same judge, so churn composes with roaming no
+    # matter which cell a client is in when its outage window opens.
     controller = None
     if config.faults is not None:
         controller = FaultController(
             config.faults,
-            medium=medium,
+            medium=cells[0].medium,
             streams=streams,
             ip_of=client_ip,
             trace=trace,
         ).install()
+        for cell in cells[1:]:
+            cell.medium.faults = cells[0].medium.faults
 
     # -- per-client channel model -------------------------------------------
     channel_model = None
     if config.channel is not None:
+        all_client_ips = {client_ip(i) for i in range(config.n_clients)}
         channel_model = ChannelModel(
             config.channel,
             streams,
-            sorted(client_ips),
+            sorted(all_client_ips),
             obs=recorder,
         )
-        medium.channel = channel_model
-        proxy.channel = channel_model
+        for cell in cells:
+            cell.medium.channel = channel_model
+            cell.proxy.channel = channel_model
+
+    # -- campus machinery ----------------------------------------------------
+    coordinator = None
+    mobility = None
+    if n_cells > 1:
+        assert campus is not None
+        coordinator = HandoffCoordinator(
+            sim,
+            cells,
+            hub,
+            uplinks,
+            client_ifaces,
+            campus.handoff,
+            obs=recorder,
+            counters=counters,
+        )
+        mobility = MobilityModel(
+            sim,
+            campus.mobility,
+            n_cells,
+            [client_ip(i) for i in range(config.n_clients)],
+            streams,
+            on_roam=coordinator.handoff,
+            obs=recorder,
+        )
 
     return Scenario(
         config=config,
         sim=sim,
         streams=streams,
         trace=trace,
-        medium=medium,
-        ap=ap,
-        proxy=proxy,
+        medium=cells[0].medium,
+        ap=cells[0].ap,
+        proxy=cells[0].proxy,
         servers=servers,
         clients=clients,
-        monitor=monitor,
+        monitor=cells[0].monitor,
         lan_hub=hub,
         counters=counters,
         faults=controller,
         channel=channel_model,
         obs=recorder,
+        campus=campus,
+        cells=cells,
+        mobility=mobility,
+        handoff=coordinator,
     )

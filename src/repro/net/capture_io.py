@@ -45,6 +45,7 @@ def save_capture(frames: Sequence[FrameRecord], path: PathLike) -> pathlib.Path:
                         "packet_id": frame.packet_id,
                         "sender": frame.sender,
                         "schedule_meta": frame.schedule_meta,
+                        "cell": frame.cell,
                     }
                 )
                 + "\n"

@@ -76,6 +76,14 @@ class WirelessMedium:
         self.channel = None
         self._stations: list[Interface] = []
         self._station_ips: set[str] = set()
+        #: Clients that roamed away mid-flight: frames addressed to them
+        #: die in this cell instead of bouncing off the gateway. Empty
+        #: (and free) outside campus runs.
+        self.departed: set[str] = set()
+        #: Campus cell label ("" outside campus runs); when set, frame
+        #: events and miss counters carry a ``cell`` label.
+        self.cell = ""
+        self._cell_fields: dict[str, str] = {}
         #: Per-proto (frames counter, frame-bytes histogram) handles,
         #: resolved on first use (see Recorder.resolve_*).
         self._frame_handles: dict[str, tuple] = {}
@@ -104,10 +112,26 @@ class WirelessMedium:
         iface.channel = self
         self._stations.append(iface)
         self._station_ips.add(iface.node.ip)
+        self.departed.discard(iface.node.ip)
         if gateway:
             if self._gateway is not None:
                 raise NetworkError("medium already has a gateway")
             self._gateway = iface
+
+    def detach(self, iface: Interface) -> None:
+        """Detach a roaming station (the handoff coordinator's half)."""
+        if iface is self._gateway:
+            raise NetworkError("cannot detach the gateway interface")
+        if iface.channel is not self:
+            raise NetworkError(f"{iface!r} is not attached to this medium")
+        self._stations.remove(iface)
+        self._station_ips.discard(iface.node.ip)
+        iface.channel = None
+
+    def set_cell(self, label: str) -> None:
+        """Label this medium as campus cell ``label`` for obs purposes."""
+        self.cell = label
+        self._cell_fields = {"cell": label} if label else {}
 
     @property
     def stations(self) -> tuple[Interface, ...]:
@@ -232,14 +256,17 @@ class WirelessMedium:
             broadcast=packet.is_broadcast,
             sender=src_iface.node.name,
             packet_id=packet.packet_id,
+            **self._cell_fields,
         )
         handles = self._frame_handles.get(packet.proto)
         if handles is None:
             handles = (
-                self.obs.resolve_counter("medium.frames", proto=packet.proto),
+                self.obs.resolve_counter(
+                    "medium.frames", proto=packet.proto, **self._cell_fields
+                ),
                 self.obs.resolve_histogram(
                     "medium.frame_bytes", buckets=BYTES_BUCKETS,
-                    proto=packet.proto,
+                    proto=packet.proto, **self._cell_fields,
                 ),
             )
             self._frame_handles[packet.proto] = handles
@@ -290,13 +317,36 @@ class WirelessMedium:
                     marked=packet.tos_marked,
                     broadcast=packet.is_broadcast,
                     packet_id=packet.packet_id,
+                    **self._cell_fields,
                 )
                 self.obs.inc(
                     "medium.misses",
                     dst=iface.node.ip,
                     cause=cause,
+                    **self._cell_fields,
                 )
         if packet.is_broadcast or dst_is_station:
+            return
+        if packet.dst.ip in self.departed:
+            # The addressee roamed away mid-flight: the frame dies here
+            # instead of bouncing between the gateway and the medium.
+            self.frames_missed += 1
+            self.counters.incr("campus.handoff_miss")
+            self.obs.event(
+                end, "medium.miss",
+                dst=packet.dst.ip, proto=packet.proto,
+                size=packet.wire_size, payload=packet.payload_size,
+                marked=packet.tos_marked,
+                broadcast=packet.is_broadcast,
+                packet_id=packet.packet_id,
+                **self._cell_fields,
+            )
+            self.obs.inc(
+                "medium.misses",
+                dst=packet.dst.ip,
+                cause="handoff",
+                **self._cell_fields,
+            )
             return
         # Not a wireless station's address: hand it up to the gateway (AP).
         if self._gateway is not None and self._gateway is not src_iface:

@@ -120,6 +120,10 @@ class Node:
         """Route packets for ``dst_ip`` out of ``iface``."""
         self._routes[dst_ip] = iface
 
+    def remove_route(self, dst_ip: str) -> None:
+        """Drop the specific route for ``dst_ip`` (no-op if absent)."""
+        self._routes.pop(dst_ip, None)
+
     def set_default_route(self, iface: Interface) -> None:
         """Fallback interface for destinations without a specific route."""
         self._default_route = iface

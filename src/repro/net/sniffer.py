@@ -48,6 +48,8 @@ class FrameRecord:
     #: frames). A real tcpdump capture contains the schedule bytes; the
     #: postmortem replay (repro.energy.replay) needs them decoded.
     schedule_meta: Optional[dict] = None
+    #: Campus cell the frame was heard in ("" outside campus runs).
+    cell: str = ""
 
 
 class MonitoringStation(Node):
@@ -91,6 +93,7 @@ class MonitoringStation(Node):
                 schedule_meta=(
                     dict(packet.meta) if "schedule" in packet.meta else None
                 ),
+                cell=self._medium.cell if self._medium is not None else "",
             )
         )
         return True  # consume: the monitor never forwards or responds

@@ -155,6 +155,9 @@ class SimRecorder(Recorder):
         record_metrics: when False, ``inc``/``gauge_set``/``observe``
             become no-ops (trace-only mode, the pre-obs baseline).
         record_spans: when False, ``span`` becomes a no-op.
+        record_events: when False, ``event`` becomes a no-op
+            (metrics-only mode — large campus runs keep counters
+            without accumulating per-event trace rows).
     """
 
     def __init__(
@@ -163,17 +166,20 @@ class SimRecorder(Recorder):
         metrics: Optional[MetricsRegistry] = None,
         record_metrics: bool = True,
         record_spans: bool = True,
+        record_events: bool = True,
     ) -> None:
         self.trace = trace if trace is not None else TraceRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.record_metrics = record_metrics
         self.record_spans = record_spans
+        self.record_events = record_events
         self._spans: list[SpanRecord] = []
 
     # -- events ------------------------------------------------------------
 
     def event(self, time: float, category: str, **fields: Any) -> None:
-        self.trace.record_fields(time, category, fields)
+        if self.record_events:
+            self.trace.record_fields(time, category, fields)
 
     def span(
         self, start: float, end: float, name: str, track: str,

@@ -1,0 +1,10 @@
+# repro: module-path=campus/mobility.py
+"""BAD: a roam moves queue state between shards by hand."""
+
+
+def roam(client_ip, old_cell, new_cell, hub, uplink):
+    entries, dropped = old_cell.proxy.release_client(client_ip)
+    old_cell.scheduler.forget_client(client_ip)
+    new_cell.proxy.adopt_client(client_ip, entries)
+    hub.add_route(client_ip, uplink)
+    return dropped

@@ -1,0 +1,8 @@
+# repro: module-path=campus/handoff.py
+"""GOOD: the coordinator is the one blessed caller of the primitives."""
+
+
+def handoff(client_ip, old_cell, new_cell):
+    entries, dropped = old_cell.proxy.release_client(client_ip)
+    new_cell.proxy.adopt_client(client_ip, entries)
+    return dropped

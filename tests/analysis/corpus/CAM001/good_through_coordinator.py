@@ -1,0 +1,6 @@
+# repro: module-path=campus/mobility.py
+"""GOOD: the roam delegates the migration to the coordinator."""
+
+
+def roam(client_ip, old_index, new_index, coordinator):
+    coordinator.handoff(client_ip, old_index, new_index)

@@ -1,0 +1,142 @@
+"""HandoffCoordinator: queue migration, slot release, radio gap."""
+
+import pytest
+
+from repro.campus import CampusTopology, HandoffSpec
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import (
+    ScenarioConfig,
+    build_scenario,
+    client_ip,
+)
+from repro.net.addr import Endpoint
+from repro.net.packet import Packet
+
+
+def _scenario(policy: str = "transfer", latency_s: float = 0.02):
+    return build_scenario(
+        ScenarioConfig(
+            n_clients=4,
+            campus=CampusTopology(
+                n_cells=2,
+                handoff=HandoffSpec(policy=policy, latency_s=latency_s),
+            ),
+        )
+    )
+
+
+def _buffer_udp(proxy, dst_ip: str, nbytes: int) -> None:
+    queue = proxy.queue_for(dst_ip)
+    queue.push_udp(
+        Packet(
+            "udp",
+            src=Endpoint("10.0.2.3", 5004),
+            dst=Endpoint(dst_ip, 5004),
+            payload_size=nbytes,
+        )
+    )
+
+
+def test_initial_partition_round_robin():
+    scenario = _scenario()
+    assert scenario.cells[0].proxy.client_ips == {client_ip(0), client_ip(2)}
+    assert scenario.cells[1].proxy.client_ips == {client_ip(1), client_ip(3)}
+
+
+def test_transfer_moves_backlog_and_membership():
+    scenario = _scenario(policy="transfer")
+    ip = client_ip(0)
+    _buffer_udp(scenario.cells[0].proxy, ip, 700)
+    _buffer_udp(scenario.cells[0].proxy, ip, 300)
+
+    scenario.handoff.handoff(ip, 0, 1)
+
+    assert ip not in scenario.cells[0].proxy.client_ips
+    assert ip in scenario.cells[1].proxy.client_ips
+    new_queue = scenario.cells[1].proxy.queue_for(ip)
+    assert new_queue.bytes_pending == 1000
+    assert new_queue.udp_bytes_pending == 1000
+    assert scenario.handoff.handoffs == 1
+    assert scenario.handoff.bytes_transferred == 1000
+    assert scenario.handoff.bytes_dropped == 0
+
+
+def test_drain_drops_backlog():
+    scenario = _scenario(policy="drain")
+    ip = client_ip(0)
+    _buffer_udp(scenario.cells[0].proxy, ip, 700)
+
+    scenario.handoff.handoff(ip, 0, 1)
+
+    assert scenario.cells[1].proxy.queue_for(ip).bytes_pending == 0
+    assert scenario.handoff.bytes_transferred == 0
+    assert scenario.handoff.bytes_dropped == 700
+
+
+def test_radio_gap_then_reattach():
+    scenario = _scenario(latency_s=0.02)
+    ip = client_ip(0)
+    iface = scenario.handoff.client_ifaces[ip]
+    assert iface.channel is scenario.cells[0].medium
+
+    scenario.handoff.handoff(ip, 0, 1)
+
+    # Mid-gap: attached to neither medium; uplink attempts are swallowed.
+    assert iface.channel is not scenario.cells[0].medium
+    assert iface.channel is not scenario.cells[1].medium
+    iface.channel.transmit(
+        iface,
+        Packet(
+            "udp",
+            src=Endpoint(ip, 5005),
+            dst=Endpoint("10.0.2.3", 5005),
+            payload_size=10,
+        ),
+    )
+    assert scenario.handoff.gap_tx_drops == 1
+    assert ip in scenario.cells[0].medium.departed
+
+    scenario.sim.run(until=0.05)
+    assert iface.channel is scenario.cells[1].medium
+
+
+def test_second_roam_during_gap_supersedes_first():
+    scenario = _scenario(latency_s=0.02)
+    ip = client_ip(0)
+    iface = scenario.handoff.client_ifaces[ip]
+    scenario.handoff.handoff(ip, 0, 1)
+    scenario.handoff.handoff(ip, 1, 0)
+    scenario.sim.run(until=0.1)
+    # Only the second gap's attach fires; the first is superseded.
+    assert iface.channel is scenario.cells[0].medium
+    assert ip in scenario.cells[1].proxy.client_ips or (
+        ip in scenario.cells[0].proxy.client_ips
+    )
+    assert ip in scenario.cells[0].proxy.client_ips
+    assert ip not in scenario.cells[1].proxy.client_ips
+
+
+def test_same_cell_handoff_rejected():
+    scenario = _scenario()
+    with pytest.raises(ConfigurationError):
+        scenario.handoff.handoff(client_ip(0), 0, 0)
+
+
+def test_departed_downlink_counts_as_handoff_miss():
+    scenario = _scenario()
+    ip = client_ip(0)
+    scenario.handoff.handoff(ip, 0, 1)
+    missed_before = scenario.cells[0].medium.frames_missed
+
+    # A straggler frame for the departed client arrives at the old AP.
+    scenario.cells[0].ap.wireless.send(
+        Packet(
+            "udp",
+            src=Endpoint("10.0.2.3", 5004),
+            dst=Endpoint(ip, 5004),
+            payload_size=100,
+        )
+    )
+    scenario.sim.run(until=0.5)
+    assert scenario.cells[0].medium.frames_missed > missed_before
+    assert scenario.counters.totals().get("campus.handoff_miss", 0) >= 1

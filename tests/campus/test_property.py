@@ -1,0 +1,115 @@
+"""Property tests for the campus sharding invariants.
+
+Two invariants the paper's single-AP scheduler takes for granted, and
+that sharding could silently break:
+
+* **Partition** — at every instant, every client belongs to exactly one
+  proxy shard (the cells' ``client_ips`` sets partition the client set).
+* **Slot locality** — a shard never grants a burst slot to a client it
+  does not currently own; a roamed-away client must get its slots from
+  its new cell only.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campus import CampusTopology, HandoffSpec, MobilityPlan
+from repro.core.scheduler import DynamicScheduler
+from repro.experiments.runner import (
+    ClientSpec,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.experiments.scenarios import (
+    ScenarioConfig,
+    build_scenario,
+    client_ip,
+)
+
+N_CLIENTS = 6
+N_CELLS = 3
+
+
+def _campus() -> CampusTopology:
+    return CampusTopology(
+        n_cells=N_CELLS,
+        mobility=MobilityPlan(roam_rate=0.6, epoch_s=0.2),
+        handoff=HandoffSpec(policy="transfer", latency_s=0.02),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_every_client_in_exactly_one_shard(seed):
+    """The shards partition the client set at every mobility epoch."""
+    scenario = build_scenario(
+        ScenarioConfig(n_clients=N_CLIENTS, seed=seed, campus=_campus())
+    )
+    all_ips = {client_ip(i) for i in range(N_CLIENTS)}
+    scenario.mobility.start()
+    violations: list[str] = []
+
+    def check() -> None:
+        owned = [cell.proxy.client_ips for cell in scenario.cells]
+        union = set().union(*owned)
+        if union != all_ips or sum(len(s) for s in owned) != N_CLIENTS:
+            violations.append(
+                f"t={scenario.sim.now}: shards {owned} do not "
+                f"partition {sorted(all_ips)}"
+            )
+
+    # Sample just after each epoch's handoffs have been issued, and
+    # again mid-gap, so the radio-gap window is covered too.
+    t = 0.01
+    while t < 3.0:
+        scenario.sim.call_at(t, check)
+        scenario.sim.call_at(t + 0.1, check)
+        t += 0.2
+    scenario.sim.run(until=3.0)
+    assert scenario.handoff.handoffs > 0, "mobility should have roamed"
+    assert not violations, violations[0]
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_no_slot_granted_outside_own_cell(seed):
+    """Every burst slot names a client the granting shard owns."""
+    records: list[tuple[float, frozenset, frozenset]] = []
+    original = DynamicScheduler.build_schedule
+
+    def probe(self, srp):
+        schedule = original(self, srp)
+        records.append(
+            (
+                srp,
+                frozenset(slot.client_ip for slot in schedule.slots),
+                frozenset(self.proxy.client_ips),
+            )
+        )
+        return schedule
+
+    DynamicScheduler.build_schedule = probe
+    try:
+        result = run_experiment(
+            ExperimentConfig(
+                clients=[ClientSpec("video", video_kbps=56)] * N_CLIENTS,
+                burst_interval_s=0.25,
+                duration_s=3.0,
+                warmup_s=0.2,
+                start_stagger_s=0.05,
+                seed=seed,
+                campus=_campus(),
+                obs_mode="off",
+            )
+        )
+    finally:
+        DynamicScheduler.build_schedule = original
+
+    assert result.handoffs > 0, "mobility should have roamed"
+    assert records, "schedulers should have built schedules"
+    for srp, slot_ips, owned in records:
+        strays = slot_ips - owned
+        assert not strays, (
+            f"schedule at srp={srp} grants slots to {sorted(strays)} "
+            "which the shard does not own"
+        )

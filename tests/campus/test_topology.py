@@ -1,0 +1,74 @@
+"""CampusTopology / MobilityPlan / HandoffSpec configuration contract."""
+
+import pytest
+
+from repro.campus import CampusTopology, HandoffSpec, MobilityPlan
+from repro.errors import ConfigurationError
+
+
+class TestMobilityPlan:
+    def test_round_trip(self):
+        plan = MobilityPlan(roam_rate=0.25, epoch_s=2.0)
+        assert MobilityPlan.from_dict(plan.to_dict()) == plan
+
+    def test_disabled_by_default(self):
+        assert not MobilityPlan().enabled
+        assert MobilityPlan(roam_rate=0.01).enabled
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ConfigurationError):
+            MobilityPlan(roam_rate=rate)
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ConfigurationError):
+            MobilityPlan(epoch_s=0.0)
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            MobilityPlan.from_dict({"roam_rate": 0.1, "speed": 3})
+
+
+class TestHandoffSpec:
+    def test_round_trip(self):
+        spec = HandoffSpec(policy="drain", latency_s=0.05)
+        assert HandoffSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            HandoffSpec(policy="teleport")
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            HandoffSpec(latency_s=-0.001)
+
+
+class TestCampusTopology:
+    def test_round_trip_nested(self):
+        campus = CampusTopology(
+            n_cells=4,
+            mobility=MobilityPlan(roam_rate=0.1, epoch_s=0.5),
+            handoff=HandoffSpec(policy="drain", latency_s=0.03),
+        )
+        assert CampusTopology.from_dict(campus.to_dict()) == campus
+
+    def test_round_trip_minimal(self):
+        campus = CampusTopology()
+        assert CampusTopology.from_dict(campus.to_dict()) == campus
+
+    @pytest.mark.parametrize("n_cells", [0, -1, 33, True, 2.0])
+    def test_rejects_bad_cell_count(self, n_cells):
+        with pytest.raises(ConfigurationError):
+            CampusTopology(n_cells=n_cells)
+
+    def test_rejects_mobility_without_cells(self):
+        with pytest.raises(ConfigurationError):
+            CampusTopology(n_cells=1, mobility=MobilityPlan(roam_rate=0.5))
+
+    def test_trivial(self):
+        assert CampusTopology().trivial
+        assert CampusTopology(n_cells=1, mobility=MobilityPlan()).trivial
+        assert not CampusTopology(n_cells=2).trivial
+        assert not CampusTopology(
+            n_cells=2, mobility=MobilityPlan(roam_rate=0.1)
+        ).trivial

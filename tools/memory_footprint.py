@@ -1,0 +1,111 @@
+"""Measure the proxy's per-client resident memory (campus scale).
+
+The paper argues the proxy's buffering is tiny (§3.2.2); the campus
+extension multiplies clients by orders of magnitude, so the claim
+worth gating is the *marginal* cost: bytes of proxy/topology state per
+additional client. This tool builds a 4-cell campus at 100, 1k, and
+10k clients under tracemalloc, touches every client queue (so lazily
+created state is counted), and reports the marginal per-client bytes
+between the 1k and 10k builds — the slope, with fixed costs cancelled.
+
+CI gates it::
+
+    python tools/memory_footprint.py --budget-bytes 6000
+
+Exit status is 1 when the marginal per-client figure exceeds the
+budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import tracemalloc
+
+#: Client populations measured; the marginal figure uses the last two.
+POPULATIONS = (100, 1_000, 10_000)
+
+
+def measure(n_clients: int, n_cells: int) -> int:
+    """Peak traced bytes for one campus build at ``n_clients``."""
+    from repro.campus import CampusTopology
+    from repro.experiments.scenarios import ScenarioConfig, build_scenario
+
+    gc.collect()
+    tracemalloc.start()
+    scenario = build_scenario(
+        ScenarioConfig(
+            n_clients=n_clients,
+            obs_mode="off",
+            campus=CampusTopology(n_cells=n_cells),
+        )
+    )
+    for cell in scenario.cells:
+        for ip in sorted(cell.proxy.client_ips):
+            cell.proxy.queue_for(ip)
+    size, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del scenario
+    gc.collect()
+    return size
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="campus per-client memory footprint"
+    )
+    parser.add_argument(
+        "--cells", type=int, default=4,
+        help="campus cell count (default 4, the CI smoke shape)",
+    )
+    parser.add_argument(
+        "--budget-bytes", type=float, default=None,
+        help="fail when marginal bytes/client exceeds this",
+    )
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    sizes = {n: measure(n, args.cells) for n in POPULATIONS}
+    low, high = POPULATIONS[-2], POPULATIONS[-1]
+    marginal = (sizes[high] - sizes[low]) / (high - low)
+
+    rows = [
+        {
+            "clients": n,
+            "resident_bytes": sizes[n],
+            "bytes_per_client": sizes[n] / n,
+        }
+        for n in POPULATIONS
+    ]
+    report = {
+        "cells": args.cells,
+        "rows": rows,
+        "marginal_bytes_per_client": marginal,
+    }
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        for row in rows:
+            print(
+                f"{row['clients']:>6} clients: "
+                f"{row['resident_bytes']:>12,} B resident "
+                f"({row['bytes_per_client']:,.0f} B/client)"
+            )
+        print(
+            f"marginal ({low}→{high} clients): {marginal:,.0f} B/client"
+        )
+    if args.budget_bytes is not None and marginal > args.budget_bytes:
+        print(
+            f"FAIL: marginal {marginal:,.0f} B/client exceeds budget "
+            f"{args.budget_bytes:,.0f} B/client",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
